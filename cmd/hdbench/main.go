@@ -1,0 +1,149 @@
+// Command hdbench regenerates the paper's tables.
+//
+// Usage:
+//
+//	hdbench [-exp all|table1|table2|table3|table4|table5] [-seed N]
+//	        [-dim N] [-folds N] [-trials N] [-quick]
+//
+// Each experiment prints a table in the paper's layout. The -quick flag
+// shrinks ensembles and epochs for a fast smoke run; the defaults
+// reproduce the paper's configuration (D = 10,000, 10-fold CV, 10 NN
+// trials, full ensembles).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hdfe/internal/tables"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, table5, ablations, curve, runtime, mcnemar")
+		seed   = flag.Uint64("seed", 42, "master seed for data synthesis, encoding and splits")
+		dim    = flag.Int("dim", 0, "hypervector dimensionality (0 = paper's 10000)")
+		folds  = flag.Int("folds", 0, "cross-validation folds (0 = paper's 10)")
+		trials = flag.Int("trials", 0, "NN repetitions (0 = paper's 10)")
+		quick  = flag.Bool("quick", false, "shrink ensembles and epochs for a fast smoke run")
+
+		curveModel   = flag.String("curve-model", "SGD", "zoo model for -exp curve")
+		curveRepeats = flag.Int("curve-repeats", 5, "resamples per learning-curve point")
+		mcnemarData  = flag.String("mcnemar-dataset", "pima-m", "dataset for -exp mcnemar: pima-r, pima-m, sylhet")
+	)
+	flag.Parse()
+
+	cfg := tables.Config{Seed: *seed, Dim: *dim, Folds: *folds, Trials: *trials, Quick: *quick}
+	run := func(name string, fn func() error) {
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "hdbench: %s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	any := false
+	if want("table1") {
+		any = true
+		run("table1", func() error {
+			tables.RenderTable1(os.Stdout, tables.Table1(cfg))
+			return nil
+		})
+	}
+	if want("table2") {
+		any = true
+		run("table2", func() error {
+			res, err := tables.Table2(cfg)
+			if err != nil {
+				return err
+			}
+			tables.RenderTable2(os.Stdout, res)
+			return nil
+		})
+	}
+	if want("table3") {
+		any = true
+		run("table3", func() error {
+			res, err := tables.Table3(cfg)
+			if err != nil {
+				return err
+			}
+			tables.RenderTable3(os.Stdout, res)
+			return nil
+		})
+	}
+	if want("table4") {
+		any = true
+		run("table4", func() error {
+			res, err := tables.Table4(cfg)
+			if err != nil {
+				return err
+			}
+			tables.RenderTestMetrics(os.Stdout, "Table IV", res)
+			return nil
+		})
+	}
+	if want("table5") {
+		any = true
+		run("table5", func() error {
+			res, err := tables.Table5(cfg)
+			if err != nil {
+				return err
+			}
+			tables.RenderTestMetrics(os.Stdout, "Table V", res)
+			return nil
+		})
+	}
+	if *exp == "curve" {
+		any = true
+		run("curve", func() error {
+			res, err := tables.LearningCurve(cfg, *curveModel, *curveRepeats)
+			if err != nil {
+				return err
+			}
+			tables.RenderLearningCurve(os.Stdout, res)
+			return nil
+		})
+	}
+	if *exp == "mcnemar" {
+		any = true
+		run("mcnemar", func() error {
+			res, err := tables.Significance(cfg, *mcnemarData)
+			if err != nil {
+				return err
+			}
+			tables.RenderSignificance(os.Stdout, res)
+			return nil
+		})
+	}
+	if *exp == "runtime" {
+		any = true
+		run("runtime", func() error {
+			res, err := tables.Runtime(cfg)
+			if err != nil {
+				return err
+			}
+			tables.RenderRuntime(os.Stdout, res)
+			return nil
+		})
+	}
+	if want("ablations") && *exp == "ablations" {
+		any = true
+		run("ablations", func() error {
+			res, err := tables.Ablations(cfg)
+			if err != nil {
+				return err
+			}
+			tables.RenderAblations(os.Stdout, res, tables.DatasetNames(cfg))
+			return nil
+		})
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "hdbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,66 @@
+// Follow-up monitoring (the paper's future-work sketch, §III.B/§IV): track
+// a patient's HDC risk score across repeated visits and report whether the
+// risk "has increased, decreased, or remained unchanged" — plus a single
+// history hypervector that summarizes the whole visit sequence.
+//
+// Run with: go run ./examples/followup
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"hdfe/internal/core"
+	"hdfe/internal/hv"
+	"hdfe/internal/synth"
+)
+
+func main() {
+	cohort := synth.PimaM(42)
+	ext := core.NewExtractor(core.Options{Seed: 1})
+	if err := ext.FitDataset(cohort); err != nil {
+		log.Fatal(err)
+	}
+	neg, pos := core.Prototypes(ext.Transform(cohort.X), cohort.Y, hv.TieToOne)
+
+	// Feature order: Pregnancies, Glucose, BloodPressure, SkinThickness,
+	// Insulin, BMI, DPF, Age. Annual visits: weight and glucose creep up.
+	visits := [][]float64{
+		{2, 98, 68, 24, 100, 26.0, 0.40, 31},
+		{2, 108, 70, 26, 120, 28.0, 0.40, 32},
+		{3, 122, 74, 29, 160, 31.0, 0.40, 33},
+		{3, 139, 78, 33, 220, 34.5, 0.40, 34},
+		{3, 155, 82, 36, 290, 37.0, 0.40, 35},
+	}
+
+	fmt.Println("annual follow-up, HDC risk score (0 = healthy cohort, 1 = diabetic cohort):")
+	traj := core.RiskTrajectory(ext, visits, neg, pos)
+	for _, p := range traj {
+		trend := "unchanged"
+		switch {
+		case p.Delta > 0.005:
+			trend = "INCREASED"
+		case p.Delta < -0.005:
+			trend = "decreased"
+		}
+		bar := strings.Repeat("#", int(p.Score*40))
+		fmt.Printf("  visit %d  score %.3f  %-40s  %s\n", p.Visit, p.Score, bar, trend)
+	}
+
+	// Whole-history hypervector: permute-by-visit + bundle. Histories can
+	// themselves be compared in Hamming space — e.g. against a stable
+	// patient's history.
+	drifting := core.EncodeVisits(ext, visits, hv.TieToOne)
+	stable := core.EncodeVisits(ext, [][]float64{
+		{2, 98, 68, 24, 100, 26.0, 0.40, 31},
+		{2, 100, 69, 24, 104, 26.2, 0.40, 32},
+		{2, 99, 68, 25, 101, 26.1, 0.40, 33},
+		{2, 101, 70, 25, 106, 26.3, 0.40, 34},
+		{2, 100, 69, 25, 103, 26.2, 0.40, 35},
+	}, hv.TieToOne)
+	fmt.Printf("\nhistory-to-history distance (drifting vs stable patient): %.3f normalized\n",
+		hv.NormalizedHamming(drifting, stable))
+	fmt.Printf("history risk affinity: drifting %.3f, stable %.3f\n",
+		core.ClassAffinity(drifting, neg, pos), core.ClassAffinity(stable, neg, pos))
+}

@@ -1,0 +1,100 @@
+// The Sylhet workflow: symptom-questionnaire data where the pure Hamming
+// model already rivals iterative ML (the paper's 95.9% vs 97.8%
+// observation). This example runs the Hamming model, shows which symptoms
+// drive the encoding, and compares a random forest on features vs
+// hypervectors with full test metrics.
+//
+// Run with: go run ./examples/sylhet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hdfe/internal/core"
+	"hdfe/internal/dataset"
+	"hdfe/internal/eval"
+	"hdfe/internal/hv"
+	"hdfe/internal/ml"
+	"hdfe/internal/ml/forest"
+	"hdfe/internal/rng"
+	"hdfe/internal/synth"
+)
+
+func main() {
+	d := synth.Sylhet(synth.DefaultSylhetConfig(42))
+	neg, pos := d.ClassCounts()
+	fmt.Printf("Syhlet (synthetic): %d patients (%d positive, %d negative), %d features\n\n",
+		d.Len(), pos, neg, d.NumFeatures())
+
+	// Symptom prevalence per class — the signal the encoder picks up.
+	fmt.Println("symptom prevalence (positive vs negative):")
+	for j, f := range d.Features {
+		if f.Kind != dataset.Binary || f.Name == "Sex" {
+			continue
+		}
+		var pSum, nSum, pN, nN float64
+		for i, row := range d.X {
+			if d.Y[i] == 1 {
+				pSum += row[j]
+				pN++
+			} else {
+				nSum += row[j]
+				nN++
+			}
+		}
+		fmt.Printf("  %-18s %5.1f%%  vs %5.1f%%\n", f.Name, 100*pSum/pN, 100*nSum/nN)
+	}
+
+	// Pure HDC.
+	conf, err := core.HammingLOO(d, core.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nHamming LOO: accuracy %.1f%%  precision %.3f  recall %.3f  specificity %.3f  F1 %.3f\n",
+		100*conf.Accuracy(), conf.Precision(), conf.Recall(), conf.Specificity(), conf.F1())
+
+	// Class prototypes: bundle all encoded positives and all negatives,
+	// then measure how far apart the two class centroids are — a purely
+	// HDC view of separability.
+	ext := core.NewExtractor(core.Options{Seed: 1})
+	if err := ext.FitDataset(d); err != nil {
+		log.Fatal(err)
+	}
+	vs := ext.Transform(d.X)
+	posAcc := hv.NewAccumulator(ext.Dim())
+	negAcc := hv.NewAccumulator(ext.Dim())
+	for i, v := range vs {
+		if d.Y[i] == 1 {
+			posAcc.Add(v)
+		} else {
+			negAcc.Add(v)
+		}
+	}
+	protoPos := posAcc.Majority(hv.TieToOne)
+	protoNeg := negAcc.Majority(hv.TieToOne)
+	fmt.Printf("class-prototype distance: %.3f normalized (0.5 would be unrelated)\n",
+		hv.NormalizedHamming(protoPos, protoNeg))
+
+	// Random forest, features vs hypervectors, 90/10 split.
+	_, hvFloats, err := core.EncodeDataset(d, core.Options{Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := dataset.StratifiedSplit(d, 0.9, rng.New(3))
+	rf := func(seed uint64) ml.Factory {
+		return func() ml.Classifier { return forest.New(forest.Params{NumTrees: 100, Seed: seed}) }
+	}
+	featConf, err := eval.TrainTest(rf(4), d.X, d.Y, train, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hvConf, err := eval.TrainTest(rf(5), hvFloats, d.Y, train, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nRandom Forest test accuracy: features %.1f%%  hypervectors %.1f%%\n",
+		100*featConf.Accuracy(), 100*hvConf.Accuracy())
+	fmt.Printf("Random Forest test F1:       features %.3f  hypervectors %.3f\n",
+		featConf.F1(), hvConf.F1())
+}

@@ -1,0 +1,3 @@
+module hdfe
+
+go 1.22

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"hdfe/internal/encode"
+	"hdfe/internal/hv"
+)
+
+// Deployment is the complete, shippable state of the pure-HDC clinical
+// scorer: a fitted codebook plus the two bundled class prototypes. Saved
+// once on the training machine, it lets any scoring endpoint encode a new
+// patient and produce a risk score with no access to the training data —
+// the deployment story of the paper's §III.B.
+type Deployment struct {
+	Extractor *Extractor
+	NegProto  hv.Vector
+	PosProto  hv.Vector
+}
+
+// deployMagic versions the serialized deployment layout.
+const deployMagic = "HDFEDEP1\n"
+
+// BuildDeployment fits an extractor on the labelled dataset rows and
+// bundles class prototypes from the encoded records.
+func BuildDeployment(specs []encode.Spec, X [][]float64, y []int, opts Options) (*Deployment, error) {
+	ext := NewExtractor(opts)
+	if err := ext.Fit(specs, X); err != nil {
+		return nil, err
+	}
+	vs := ext.Transform(X)
+	neg, pos := Prototypes(vs, y, opts.Tie)
+	return &Deployment{Extractor: ext, NegProto: neg, PosProto: pos}, nil
+}
+
+// Score encodes one patient record and returns its risk score in [0, 1].
+func (d *Deployment) Score(row []float64) float64 {
+	return ClassAffinity(d.Extractor.TransformRecord(row), d.NegProto, d.PosProto)
+}
+
+// Predict thresholds Score at 0.5.
+func (d *Deployment) Predict(row []float64) int {
+	if d.Score(row) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// WriteTo serializes the deployment (codebook + prototypes).
+func (d *Deployment) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	if _, err := bw.WriteString(deployMagic); err != nil {
+		return n, err
+	}
+	cbBytes, err := d.Extractor.Codebook().WriteTo(bw)
+	if err != nil {
+		return n, fmt.Errorf("core: writing codebook: %w", err)
+	}
+	n += int64(len(deployMagic)) + cbBytes
+	if err := hv.WriteVector(bw, d.NegProto); err != nil {
+		return n, err
+	}
+	if err := hv.WriteVector(bw, d.PosProto); err != nil {
+		return n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ReadDeployment deserializes a deployment written by WriteTo.
+func ReadDeployment(r io.Reader) (*Deployment, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(deployMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading deployment magic: %w", err)
+	}
+	if string(magic) != deployMagic {
+		return nil, fmt.Errorf("core: bad deployment magic %q", magic)
+	}
+	cb, err := encode.ReadCodebook(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading codebook: %w", err)
+	}
+	neg, err := hv.ReadVector(br, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading negative prototype: %w", err)
+	}
+	pos, err := hv.ReadVector(br, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading positive prototype: %w", err)
+	}
+	if neg.Dim() != cb.Dim() || pos.Dim() != cb.Dim() {
+		return nil, fmt.Errorf("core: prototype dims %d/%d do not match codebook dim %d",
+			neg.Dim(), pos.Dim(), cb.Dim())
+	}
+	return &Deployment{
+		Extractor: &Extractor{opts: Options{Dim: cb.Dim()}, cb: cb},
+		NegProto:  neg,
+		PosProto:  pos,
+	}, nil
+}

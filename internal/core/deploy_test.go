@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDeploymentScoreSeparates(t *testing.T) {
+	d := toyDataset()
+	dep, err := BuildDeployment(SpecsFor(d.Features), d.X, d.Y, Options{Dim: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, row := range d.X {
+		if dep.Predict(row) == d.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(d.Len()); acc < 0.9 {
+		t.Fatalf("deployment accuracy %v", acc)
+	}
+	for _, row := range d.X {
+		if s := dep.Score(row); s < 0 || s > 1 {
+			t.Fatalf("score %v out of range", s)
+		}
+	}
+}
+
+func TestDeploymentRoundTrip(t *testing.T) {
+	d := toyDataset()
+	dep, err := BuildDeployment(SpecsFor(d.Features), d.X, d.Y, Options{Dim: 1024, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := dep.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDeployment(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scores must match exactly: same codebook, same prototypes.
+	for _, row := range d.X {
+		if back.Score(row) != dep.Score(row) {
+			t.Fatal("score changed after round trip")
+		}
+	}
+	if !back.NegProto.Equal(dep.NegProto) || !back.PosProto.Equal(dep.PosProto) {
+		t.Fatal("prototypes changed after round trip")
+	}
+}
+
+func TestReadDeploymentRejectsGarbage(t *testing.T) {
+	for i, in := range []string{"", "WRONGMAGIC", deployMagic} {
+		if _, err := ReadDeployment(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadDeploymentRejectsTruncation(t *testing.T) {
+	d := toyDataset()
+	dep, err := BuildDeployment(SpecsFor(d.Features), d.X, d.Y, Options{Dim: 512, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := dep.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{len(data) / 3, len(data) - 5} {
+		if _, err := ReadDeployment(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestBuildDeploymentErrors(t *testing.T) {
+	d := toyDataset()
+	if _, err := BuildDeployment(nil, d.X, d.Y, Options{Dim: 100}); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"hdfe/internal/hv"
+	"hdfe/internal/rng"
+)
+
+func TestExplainRecordOrderingAndBounds(t *testing.T) {
+	d := toyDataset()
+	e := NewExtractor(Options{Dim: 4000, Seed: 1})
+	if err := e.FitDataset(d); err != nil {
+		t.Fatal(err)
+	}
+	contrib := e.ExplainRecord(d.X[0])
+	if len(contrib) != d.NumFeatures() {
+		t.Fatalf("%d contributions", len(contrib))
+	}
+	for i, c := range contrib {
+		if c.Similarity < 0 || c.Similarity > 1 {
+			t.Fatalf("similarity %v out of range", c.Similarity)
+		}
+		if i > 0 && contrib[i-1].Similarity < c.Similarity {
+			t.Fatal("contributions not sorted descending")
+		}
+	}
+	// Every feature codeword participated in the majority, so each must
+	// be meaningfully closer than chance to the record vector.
+	for _, c := range contrib {
+		if c.Similarity <= 0.5 {
+			t.Fatalf("feature %s similarity %v <= 0.5; majority bundling should pull all features above chance",
+				c.Name, c.Similarity)
+		}
+	}
+}
+
+func TestExplainRecordValuesCarried(t *testing.T) {
+	d := toyDataset()
+	e := NewExtractor(Options{Dim: 1000, Seed: 2})
+	if err := e.FitDataset(d); err != nil {
+		t.Fatal(err)
+	}
+	contrib := e.ExplainRecord(d.X[3])
+	seen := map[string]float64{}
+	for _, c := range contrib {
+		seen[c.Name] = c.Value
+	}
+	for j, f := range d.Features {
+		if seen[f.Name] != d.X[3][j] {
+			t.Fatalf("feature %s value %v, want %v", f.Name, seen[f.Name], d.X[3][j])
+		}
+	}
+}
+
+func TestExplainRecordPanics(t *testing.T) {
+	d := toyDataset()
+	e := NewExtractor(Options{Dim: 500, Seed: 3})
+	if err := e.FitDataset(d); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for short record")
+		}
+	}()
+	e.ExplainRecord([]float64{1})
+}
+
+func TestClassAffinity(t *testing.T) {
+	r := rng.New(4)
+	neg := hv.Rand(r, 2000)
+	pos := hv.Rand(r, 2000)
+	// A record equal to the positive prototype has affinity 1-ish; equal
+	// to the negative prototype, 0-ish; far from both, ~0.5.
+	if a := ClassAffinity(pos, neg, pos); a <= 0.9 {
+		t.Fatalf("affinity of positive prototype %v", a)
+	}
+	if a := ClassAffinity(neg, neg, pos); a >= 0.1 {
+		t.Fatalf("affinity of negative prototype %v", a)
+	}
+	if a := ClassAffinity(hv.Rand(r, 2000), neg, pos); a < 0.4 || a > 0.6 {
+		t.Fatalf("affinity of unrelated record %v, want ~0.5", a)
+	}
+}
+
+func TestClassAffinityOnDataset(t *testing.T) {
+	// Affinity computed against bundled class prototypes should separate
+	// the toy dataset's classes.
+	d := toyDataset()
+	e := NewExtractor(Options{Dim: 4000, Seed: 5})
+	if err := e.FitDataset(d); err != nil {
+		t.Fatal(err)
+	}
+	vs := e.Transform(d.X)
+	accs := [2]*hv.Accumulator{hv.NewAccumulator(4000), hv.NewAccumulator(4000)}
+	for i, v := range vs {
+		accs[d.Y[i]].Add(v)
+	}
+	neg := accs[0].Majority(hv.TieToOne)
+	pos := accs[1].Majority(hv.TieToOne)
+	correct := 0
+	for i, v := range vs {
+		pred := 0
+		if ClassAffinity(v, neg, pos) >= 0.5 {
+			pred = 1
+		}
+		if pred == d.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(vs)); acc < 0.9 {
+		t.Fatalf("prototype affinity accuracy %v", acc)
+	}
+}

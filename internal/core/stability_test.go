@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"hdfe/internal/synth"
+)
+
+// TestHammingLOOSeedStability guards the headline reproduction against a
+// lucky-seed artifact: across several data/encoder seeds, the Sylhet
+// Hamming LOO accuracy must stay uniformly strong and the Pima R accuracy
+// must stay in its (much lower) band — the paper's central contrast.
+func TestHammingLOOSeedStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed stability check is slow in -short mode")
+	}
+	const dim = 2048 // enough for the contrast; 5x cheaper than 10k
+	for _, seed := range []uint64{1, 2, 3} {
+		sylhet := synth.Sylhet(synth.DefaultSylhetConfig(seed))
+		sc, err := HammingLOO(sylhet, Options{Dim: dim, Seed: seed + 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pima := synth.PimaR(seed)
+		pc, err := HammingLOO(pima, Options{Dim: dim, Seed: seed + 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Accuracy() < 0.85 {
+			t.Errorf("seed %d: Sylhet LOO %.3f below stability band", seed, sc.Accuracy())
+		}
+		if pc.Accuracy() < 0.55 || pc.Accuracy() > 0.85 {
+			t.Errorf("seed %d: Pima R LOO %.3f outside stability band", seed, pc.Accuracy())
+		}
+		if sc.Accuracy() <= pc.Accuracy() {
+			t.Errorf("seed %d: Sylhet (%.3f) not above Pima R (%.3f)", seed, sc.Accuracy(), pc.Accuracy())
+		}
+	}
+}

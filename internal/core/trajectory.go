@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"hdfe/internal/hv"
+)
+
+// This file implements the paper's future-work sketch (§III.B/§IV): using
+// the HDC representation across "regular follow up visits" to track
+// whether a patient's risk "has increased, decreased, or remained
+// unchanged". Two pieces:
+//
+//   - EncodeVisits folds a visit history into one hypervector using the
+//     standard HDC sequence construction (permute by time step, then
+//     bundle), so whole histories can be compared in Hamming space;
+//   - RiskTrajectory scores each visit against class prototypes,
+//     producing the per-visit risk series a clinician would chart.
+
+// EncodeVisits encodes an ordered visit history into a single
+// hypervector: visit t's record vector is circularly permuted by t
+// positions (the HDC sequence/position operator, which is distance
+// preserving and makes [A,B] distinguishable from [B,A]) and the permuted
+// vectors are majority-bundled. It panics if visits is empty or the
+// extractor is unfitted.
+func EncodeVisits(e *Extractor, visits [][]float64, tie hv.TieBreak) hv.Vector {
+	e.mustFit()
+	if len(visits) == 0 {
+		panic("core: EncodeVisits with no visits")
+	}
+	acc := hv.NewAccumulator(e.Dim())
+	for t, visit := range visits {
+		acc.Add(hv.Permute(e.TransformRecord(visit), t))
+	}
+	return acc.Majority(tie)
+}
+
+// RiskPoint is one visit's position in a patient's risk series.
+type RiskPoint struct {
+	Visit int
+	// Score is the ClassAffinity against the supplied prototypes:
+	// 0 = like the negative cohort, 1 = like the positive cohort.
+	Score float64
+	// Delta is Score minus the previous visit's Score (0 for the first).
+	Delta float64
+}
+
+// RiskTrajectory scores every visit in order against the class
+// prototypes. The deltas answer the paper's question directly: positive
+// deltas mean the patient has drifted toward the diabetic cohort since the
+// last visit.
+func RiskTrajectory(e *Extractor, visits [][]float64, negProto, posProto hv.Vector) []RiskPoint {
+	e.mustFit()
+	if negProto.Dim() != e.Dim() || posProto.Dim() != e.Dim() {
+		panic(fmt.Sprintf("core: prototype dim %d/%d, extractor dim %d",
+			negProto.Dim(), posProto.Dim(), e.Dim()))
+	}
+	out := make([]RiskPoint, len(visits))
+	prev := 0.0
+	for t, visit := range visits {
+		score := ClassAffinity(e.TransformRecord(visit), negProto, posProto)
+		delta := 0.0
+		if t > 0 {
+			delta = score - prev
+		}
+		out[t] = RiskPoint{Visit: t, Score: score, Delta: delta}
+		prev = score
+	}
+	return out
+}
+
+// Prototypes bundles per-class prototypes from a labelled, already-encoded
+// cohort (a convenience for the clinical-scoring flow). It panics if
+// either class is absent.
+func Prototypes(vs []hv.Vector, y []int, tie hv.TieBreak) (negProto, posProto hv.Vector) {
+	if len(vs) == 0 || len(vs) != len(y) {
+		panic(fmt.Sprintf("core: Prototypes with %d vectors, %d labels", len(vs), len(y)))
+	}
+	accs := [2]*hv.Accumulator{hv.NewAccumulator(vs[0].Dim()), hv.NewAccumulator(vs[0].Dim())}
+	for i, v := range vs {
+		if y[i] != 0 && y[i] != 1 {
+			panic(fmt.Sprintf("core: non-binary label %d", y[i]))
+		}
+		accs[y[i]].Add(v)
+	}
+	if accs[0].Count() == 0 || accs[1].Count() == 0 {
+		panic("core: Prototypes requires both classes")
+	}
+	return accs[0].Majority(tie), accs[1].Majority(tie)
+}

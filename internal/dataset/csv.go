@@ -1,0 +1,160 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// CSVOptions configures ReadCSV.
+type CSVOptions struct {
+	// LabelColumn is the name of the label column (must hold 0/1 values,
+	// or the strings in PositiveLabels/NegativeLabels).
+	LabelColumn string
+	// BinaryColumns lists columns to mark Binary in the schema; all other
+	// feature columns are Continuous.
+	BinaryColumns []string
+	// MissingTokens are cell values (after trimming) treated as missing in
+	// addition to the empty string; e.g. "NA", "?".
+	MissingTokens []string
+	// PositiveLabels / NegativeLabels map label strings to classes; they
+	// are consulted case-insensitively before numeric parsing. "Positive",
+	// "Yes" and "1" map positive by default; "Negative", "No" and "0" map
+	// negative by default.
+	PositiveLabels []string
+	NegativeLabels []string
+}
+
+// ReadCSV parses a headered CSV into a Dataset. Every column other than the
+// label column becomes a feature, in file order. Cells that fail to parse
+// as numbers become NaN only if they match a missing token; otherwise an
+// error is returned — silent coercion hides data bugs. Binary string cells
+// ("Yes"/"No", case-insensitive) parse as 1/0.
+func ReadCSV(r io.Reader, name string, opt CSVOptions) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	labelIdx := -1
+	for i, h := range header {
+		if strings.EqualFold(strings.TrimSpace(h), opt.LabelColumn) {
+			labelIdx = i
+			break
+		}
+	}
+	if labelIdx == -1 {
+		return nil, fmt.Errorf("dataset: label column %q not found in header %v", opt.LabelColumn, header)
+	}
+	binary := map[string]bool{}
+	for _, b := range opt.BinaryColumns {
+		binary[strings.ToLower(b)] = true
+	}
+	missing := map[string]bool{"": true}
+	for _, m := range opt.MissingTokens {
+		missing[strings.ToLower(strings.TrimSpace(m))] = true
+	}
+	pos := map[string]bool{"positive": true, "yes": true, "1": true, "true": true}
+	neg := map[string]bool{"negative": true, "no": true, "0": true, "false": true}
+	for _, p := range opt.PositiveLabels {
+		pos[strings.ToLower(p)] = true
+	}
+	for _, n := range opt.NegativeLabels {
+		neg[strings.ToLower(n)] = true
+	}
+
+	var features []Feature
+	for i, h := range header {
+		if i == labelIdx {
+			continue
+		}
+		kind := Continuous
+		if binary[strings.ToLower(strings.TrimSpace(h))] {
+			kind = Binary
+		}
+		features = append(features, Feature{Name: strings.TrimSpace(h), Kind: kind})
+	}
+
+	var X [][]float64
+	var y []int
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line+1, err)
+		}
+		line++
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", line, len(rec), len(header))
+		}
+		row := make([]float64, 0, len(features))
+		for i, cell := range rec {
+			cell = strings.TrimSpace(cell)
+			lower := strings.ToLower(cell)
+			if i == labelIdx {
+				switch {
+				case pos[lower]:
+					y = append(y, 1)
+				case neg[lower]:
+					y = append(y, 0)
+				default:
+					return nil, fmt.Errorf("dataset: line %d: unrecognized label %q", line, cell)
+				}
+				continue
+			}
+			switch {
+			case missing[lower]:
+				row = append(row, math.NaN())
+			case lower == "yes" || lower == "true":
+				row = append(row, 1)
+			case lower == "no" || lower == "false":
+				row = append(row, 0)
+			default:
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: line %d column %q: cannot parse %q", line, header[i], cell)
+				}
+				row = append(row, v)
+			}
+		}
+		X = append(X, row)
+	}
+	return New(name, features, X, y)
+}
+
+// WriteCSV writes the dataset as a headered CSV with the label in a final
+// column named "label". NaN cells are written empty.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, d.NumFeatures()+1)
+	for _, f := range d.Features {
+		header = append(header, f.Name)
+	}
+	header = append(header, "label")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	rec := make([]string, len(header))
+	for i, row := range d.X {
+		for j, v := range row {
+			if math.IsNaN(v) {
+				rec[j] = ""
+			} else {
+				rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		}
+		rec[len(rec)-1] = strconv.Itoa(d.Y[i])
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

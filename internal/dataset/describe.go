@@ -1,0 +1,100 @@
+package dataset
+
+import "math"
+
+// Correlation returns the Pearson correlation matrix of the feature
+// columns, computed over rows where both columns are observed (pairwise
+// deletion). Entries involving a constant or fully missing column are NaN;
+// the diagonal is 1 for any column with variance.
+func Correlation(d *Dataset) [][]float64 {
+	k := d.NumFeatures()
+	out := make([][]float64, k)
+	for i := range out {
+		out[i] = make([]float64, k)
+	}
+	for i := 0; i < k; i++ {
+		for j := i; j < k; j++ {
+			r := pairwiseCorrelation(d, i, j)
+			out[i][j] = r
+			out[j][i] = r
+		}
+	}
+	return out
+}
+
+func pairwiseCorrelation(d *Dataset, a, b int) float64 {
+	var sx, sy, sxx, syy, sxy float64
+	n := 0
+	for _, row := range d.X {
+		x, y := row[a], row[b]
+		if math.IsNaN(x) || math.IsNaN(y) {
+			continue
+		}
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+		n++
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+	fn := float64(n)
+	cov := sxy/fn - (sx/fn)*(sy/fn)
+	vx := sxx/fn - (sx/fn)*(sx/fn)
+	vy := syy/fn - (sy/fn)*(sy/fn)
+	if vx <= 0 || vy <= 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// ColumnDescription summarizes one feature column.
+type ColumnDescription struct {
+	Name    string
+	Kind    Kind
+	Count   int // observed (non-NaN) cells
+	Missing int
+	Mean    float64
+	Std     float64
+	Min     float64
+	Median  float64
+	Max     float64
+}
+
+// Describe returns pandas-style descriptive statistics per column.
+func Describe(d *Dataset) []ColumnDescription {
+	out := make([]ColumnDescription, d.NumFeatures())
+	for j := range out {
+		desc := ColumnDescription{Name: d.Features[j].Name, Kind: d.Features[j].Kind}
+		var observed []float64
+		for _, row := range d.X {
+			if math.IsNaN(row[j]) {
+				desc.Missing++
+			} else {
+				observed = append(observed, row[j])
+			}
+		}
+		desc.Count = len(observed)
+		if desc.Count == 0 {
+			desc.Mean, desc.Std = math.NaN(), math.NaN()
+			desc.Min, desc.Median, desc.Max = math.NaN(), math.NaN(), math.NaN()
+		} else {
+			desc.Mean = ColumnMean(d, j)
+			desc.Std = ColumnStd(d, j)
+			desc.Median = Median(observed)
+			desc.Min, desc.Max = math.Inf(1), math.Inf(-1)
+			for _, v := range observed {
+				if v < desc.Min {
+					desc.Min = v
+				}
+				if v > desc.Max {
+					desc.Max = v
+				}
+			}
+		}
+		out[j] = desc
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCorrelationPerfectAndInverse(t *testing.T) {
+	d := MustNew("corr",
+		[]Feature{{Name: "x"}, {Name: "y"}, {Name: "z"}},
+		[][]float64{{1, 2, -1}, {2, 4, -2}, {3, 6, -3}, {4, 8, -4}},
+		[]int{0, 0, 1, 1},
+	)
+	c := Correlation(d)
+	if math.Abs(c[0][1]-1) > 1e-12 {
+		t.Fatalf("corr(x, 2x) = %v", c[0][1])
+	}
+	if math.Abs(c[0][2]+1) > 1e-12 {
+		t.Fatalf("corr(x, -x) = %v", c[0][2])
+	}
+	if c[0][0] != 1 || c[1][1] != 1 {
+		t.Fatal("diagonal not 1")
+	}
+	if c[0][1] != c[1][0] {
+		t.Fatal("matrix not symmetric")
+	}
+}
+
+func TestCorrelationHandlesMissingAndConstant(t *testing.T) {
+	d := MustNew("corr2",
+		[]Feature{{Name: "x"}, {Name: "const"}, {Name: "y"}},
+		[][]float64{{1, 5, math.NaN()}, {2, 5, 4}, {3, 5, 6}, {4, 5, 8}},
+		[]int{0, 0, 1, 1},
+	)
+	c := Correlation(d)
+	if !math.IsNaN(c[0][1]) {
+		t.Fatalf("constant column correlation %v, want NaN", c[0][1])
+	}
+	// Pairwise deletion: x~y over rows 1..3 is still perfect.
+	if math.Abs(c[0][2]-1) > 1e-12 {
+		t.Fatalf("corr with missing row = %v", c[0][2])
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	d := MustNew("desc",
+		[]Feature{{Name: "v", Kind: Continuous}},
+		[][]float64{{1}, {2}, {3}, {math.NaN()}},
+		[]int{0, 0, 1, 1},
+	)
+	desc := Describe(d)[0]
+	if desc.Count != 3 || desc.Missing != 1 {
+		t.Fatalf("count/missing %d/%d", desc.Count, desc.Missing)
+	}
+	if desc.Mean != 2 || desc.Median != 2 || desc.Min != 1 || desc.Max != 3 {
+		t.Fatalf("stats %+v", desc)
+	}
+	wantStd := math.Sqrt(2.0 / 3.0)
+	if math.Abs(desc.Std-wantStd) > 1e-12 {
+		t.Fatalf("std %v", desc.Std)
+	}
+}
+
+func TestDescribeAllMissing(t *testing.T) {
+	d := MustNew("desc2",
+		[]Feature{{Name: "v"}},
+		[][]float64{{math.NaN()}},
+		[]int{0},
+	)
+	desc := Describe(d)[0]
+	if desc.Count != 0 || !math.IsNaN(desc.Mean) || !math.IsNaN(desc.Median) {
+		t.Fatalf("all-missing describe %+v", desc)
+	}
+}

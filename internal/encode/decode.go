@@ -1,0 +1,82 @@
+package encode
+
+import (
+	"fmt"
+
+	"hdfe/internal/hv"
+)
+
+// Decoding inverts the encoders: given a (possibly noisy) feature
+// hypervector, recover the approximate raw value. The level encoding is
+// invertible because the number of flipped seed bits is a linear function
+// of the value; a noisy vector decodes to the value whose codeword is
+// nearest, which is the HDC item-memory recall specialized to an ordered
+// alphabet.
+
+// Decode estimates the raw value whose encoding is nearest to v. For a
+// vector produced by Encode the result is exact up to the encoder's
+// quantization step, 2·(max-min)/D. For other vectors it returns the
+// best linear estimate: the distance from the seed divided by the flip
+// rate.
+func (e *LevelEncoder) Decode(v hv.Vector) float64 {
+	if v.Dim() != e.dim {
+		panic(fmt.Sprintf("encode: decode dim %d, encoder dim %d", v.Dim(), e.dim))
+	}
+	if e.max == e.min {
+		return e.min
+	}
+	x := hv.Hamming(e.seed, v)
+	if x > e.dim/2 {
+		x = e.dim / 2
+	}
+	// Invert x = D (t - min) / (2 (max - min)).
+	return e.min + float64(x)*2*(e.max-e.min)/float64(e.dim)
+}
+
+// Decode maps v to the nearer of the two codewords: true for high.
+// Exact ties map low, matching Encode's midpoint rule.
+func (e *BinaryEncoder) Decode(v hv.Vector) bool {
+	if v.Dim() != e.dim {
+		panic(fmt.Sprintf("encode: decode dim %d, encoder dim %d", v.Dim(), e.dim))
+	}
+	return hv.Hamming(v, e.high) < hv.Hamming(v, e.low)
+}
+
+// DecodeFeature inverts feature j's encoding: for continuous features it
+// returns the estimated raw value; for binary features, 0 or 1. Constant
+// features decode to their pinned value's encoding distance (always the
+// fitted constant, returned as 0 with ok=false since the raw value is not
+// recoverable).
+func (c *Codebook) DecodeFeature(j int, v hv.Vector) (value float64, ok bool) {
+	if j < 0 || j >= len(c.encs) {
+		panic(fmt.Sprintf("encode: feature index %d out of range", j))
+	}
+	switch enc := c.encs[j].(type) {
+	case *LevelEncoder:
+		return enc.Decode(v), true
+	case *BinaryEncoder:
+		if enc.Decode(v) {
+			return 1, true
+		}
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+// LevelItemMemory builds an hv.ItemMemory holding levels evenly spaced
+// codewords of the encoder's range, each named by its value (printed with
+// %g). It supports alphabet-style recall ("which level is this vector
+// closest to?") and diagnostic inspection of the level structure. levels
+// must be >= 2.
+func (e *LevelEncoder) LevelItemMemory(levels int) *hv.ItemMemory {
+	if levels < 2 {
+		panic(fmt.Sprintf("encode: item memory with %d levels", levels))
+	}
+	m := hv.NewItemMemory(e.dim)
+	for i := 0; i < levels; i++ {
+		t := e.min + (e.max-e.min)*float64(i)/float64(levels-1)
+		m.Store(fmt.Sprintf("%g", t), e.Encode(t))
+	}
+	return m
+}

@@ -1,0 +1,130 @@
+package encode
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hdfe/internal/hv"
+	"hdfe/internal/rng"
+)
+
+func TestLevelDecodeRoundTrip(t *testing.T) {
+	e := NewLevelEncoder(rng.New(1), 10000, 0, 100)
+	step := 2 * 100.0 / 10000 // quantization step
+	for _, v := range []float64{0, 1, 13.7, 50, 99.99, 100} {
+		got := e.Decode(e.Encode(v))
+		if math.Abs(got-v) > step {
+			t.Fatalf("Decode(Encode(%v)) = %v (step %v)", v, got, step)
+		}
+	}
+}
+
+func TestLevelDecodeClampsOutOfRange(t *testing.T) {
+	e := NewLevelEncoder(rng.New(2), 1000, 10, 20)
+	if got := e.Decode(e.Encode(-5)); got != 10 {
+		t.Fatalf("below-min decode %v", got)
+	}
+	if got := e.Decode(e.Encode(99)); got != 20 {
+		t.Fatalf("above-max decode %v", got)
+	}
+}
+
+func TestLevelDecodeNoisy(t *testing.T) {
+	// Balanced noise moves the estimate by at most ~the noise rate times
+	// the range (random flips go both ways, so usually much less).
+	r := rng.New(3)
+	e := NewLevelEncoder(r, 10000, 0, 1)
+	v := e.Encode(0.4)
+	hv.FlipRandom(v, r, 500) // 5% noise
+	got := e.Decode(v)
+	if math.Abs(got-0.4) > 0.12 {
+		t.Fatalf("noisy decode %v, want ~0.4", got)
+	}
+}
+
+func TestLevelDecodeDegenerateRange(t *testing.T) {
+	e := NewLevelEncoder(rng.New(4), 100, 7, 7)
+	if got := e.Decode(e.Encode(7)); got != 7 {
+		t.Fatalf("degenerate decode %v", got)
+	}
+}
+
+func TestLevelDecodeDimMismatchPanics(t *testing.T) {
+	e := NewLevelEncoder(rng.New(5), 100, 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	e.Decode(hv.New(99))
+}
+
+func TestPropertyLevelRoundTrip(t *testing.T) {
+	e := NewLevelEncoder(rng.New(6), 4000, -50, 50)
+	step := 2 * 100.0 / 4000
+	err := quick.Check(func(raw float64) bool {
+		v := math.Mod(math.Abs(raw), 100) - 50
+		return math.Abs(e.Decode(e.Encode(v))-v) <= step+1e-9
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryDecode(t *testing.T) {
+	e := NewBinaryEncoder(rng.New(7), 2000, 0.5)
+	if e.Decode(e.Encode(0)) {
+		t.Fatal("low decoded high")
+	}
+	if !e.Decode(e.Encode(1)) {
+		t.Fatal("high decoded low")
+	}
+	// Noisy high still decodes high.
+	r := rng.New(8)
+	v := e.Encode(1)
+	hv.FlipRandom(v, r, 300)
+	if !e.Decode(v) {
+		t.Fatal("noisy high decoded low")
+	}
+}
+
+func TestCodebookDecodeFeature(t *testing.T) {
+	specs := []Spec{
+		{Name: "glucose", Kind: Continuous},
+		{Name: "polyuria", Kind: Binary},
+	}
+	X := [][]float64{{80, 0}, {200, 1}, {140, 0}}
+	cb := Fit(rng.New(9), specs, X, Options{Dim: 4000})
+	if got, ok := cb.DecodeFeature(0, cb.EncodeFeature(0, 140)); !ok || math.Abs(got-140) > 0.2 {
+		t.Fatalf("decode glucose = (%v, %v)", got, ok)
+	}
+	if got, ok := cb.DecodeFeature(1, cb.EncodeFeature(1, 1)); !ok || got != 1 {
+		t.Fatalf("decode polyuria = (%v, %v)", got, ok)
+	}
+	// Constant column decodes with ok=false.
+	specs2 := []Spec{{Name: "const", Kind: Continuous}}
+	cb2 := Fit(rng.New(10), specs2, [][]float64{{5}, {5}}, Options{Dim: 500})
+	if _, ok := cb2.DecodeFeature(0, cb2.EncodeFeature(0, 5)); ok {
+		t.Fatal("constant feature claimed decodable")
+	}
+}
+
+func TestLevelItemMemory(t *testing.T) {
+	e := NewLevelEncoder(rng.New(11), 2000, 0, 10)
+	m := e.LevelItemMemory(11) // levels at 0,1,...,10
+	if m.Len() != 11 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	// A value near 7 recalls the "7" codeword.
+	name, _ := m.Recall(e.Encode(7.1))
+	if name != "7" {
+		t.Fatalf("recall = %s, want 7", name)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 1 level")
+		}
+	}()
+	e.LevelItemMemory(1)
+}

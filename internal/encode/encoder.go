@@ -1,0 +1,162 @@
+// Package encode implements the paper's hyperdimensional feature encoders
+// (§II.B of Watkinson et al.): a linear ("level") encoder for continuous
+// features, a seed/orthogonal pair encoder for binary features, and a
+// record encoder that majority-bundles the per-feature hypervectors into
+// one patient hypervector.
+//
+// Encoders are fitted on training data only (min/max per feature) and are
+// deterministic given an rng.Source, so experiments reproduce exactly.
+package encode
+
+import (
+	"fmt"
+	"math"
+
+	"hdfe/internal/hv"
+	"hdfe/internal/rng"
+)
+
+// FeatureEncoder maps one scalar feature value to a hypervector.
+type FeatureEncoder interface {
+	// Encode returns the hypervector for value t. Implementations must be
+	// safe for concurrent use after construction.
+	Encode(t float64) hv.Vector
+	// Dim returns the dimensionality of produced hypervectors.
+	Dim() int
+}
+
+// LevelEncoder is the paper's linear encoding for continuous features.
+//
+// A random half-dense seed hypervector represents every value <= min. A
+// value t is encoded by flipping
+//
+//	x = round( D * (t - min) / (2 * (max - min)) )
+//
+// bits of the seed — half of them chosen among the seed's ones, half among
+// its zeros — so that max is exactly orthogonal to min (x = D/2) and the
+// Hamming distance between any two encoded values is exactly |x1 - x2|,
+// i.e. proportional to their numeric difference. Proportionality holds
+// because the flip order is fixed at construction: the bits flipped for a
+// lower level are a strict subset of those flipped for a higher one.
+type LevelEncoder struct {
+	dim       int
+	min, max  float64
+	seed      hv.Vector
+	flipOnes  []int // seed's one-positions in fixed random flip order
+	flipZeros []int // seed's zero-positions in fixed random flip order
+}
+
+// NewLevelEncoder builds a level encoder for values in [min, max] at
+// dimensionality dim, drawing its seed and flip order from r. It panics if
+// dim <= 0 or max < min.
+func NewLevelEncoder(r *rng.Source, dim int, min, max float64) *LevelEncoder {
+	if dim <= 0 {
+		panic(fmt.Sprintf("encode: invalid dimensionality %d", dim))
+	}
+	if max < min {
+		panic(fmt.Sprintf("encode: max %v < min %v", max, min))
+	}
+	seed := hv.RandBalanced(r, dim)
+	ones := seed.Ones()
+	zeros := seed.Zeros()
+	r.Shuffle(len(ones), func(i, j int) { ones[i], ones[j] = ones[j], ones[i] })
+	r.Shuffle(len(zeros), func(i, j int) { zeros[i], zeros[j] = zeros[j], zeros[i] })
+	return &LevelEncoder{dim: dim, min: min, max: max, seed: seed, flipOnes: ones, flipZeros: zeros}
+}
+
+// Dim returns the hypervector dimensionality.
+func (e *LevelEncoder) Dim() int { return e.dim }
+
+// Range returns the fitted [min, max] value range.
+func (e *LevelEncoder) Range() (min, max float64) { return e.min, e.max }
+
+// Flips returns the number of seed bits flipped for value t: the paper's
+// x = D*(t-min) / (2*(max-min)), rounded, clamped to [0, D/2]. Values below
+// min map to 0 (the seed represents "min or lower"); values above max map
+// to D/2. A degenerate range (max == min) always maps to 0.
+func (e *LevelEncoder) Flips(t float64) int {
+	if e.max == e.min {
+		return 0
+	}
+	x := int(math.Round(float64(e.dim) * (t - e.min) / (2 * (e.max - e.min))))
+	if x < 0 {
+		return 0
+	}
+	if x > e.dim/2 {
+		return e.dim / 2
+	}
+	return x
+}
+
+// Encode returns the hypervector for value t.
+func (e *LevelEncoder) Encode(t float64) hv.Vector {
+	x := e.Flips(t)
+	v := e.seed.Clone()
+	fromOnes := x / 2
+	fromZeros := x - fromOnes
+	for _, p := range e.flipOnes[:fromOnes] {
+		v.FlipBit(p)
+	}
+	for _, p := range e.flipZeros[:fromZeros] {
+		v.FlipBit(p)
+	}
+	return v
+}
+
+// Seed returns (a copy of) the encoder's seed hypervector.
+func (e *LevelEncoder) Seed() hv.Vector { return e.seed.Clone() }
+
+// BinaryEncoder is the paper's encoding for yes/no features: a random seed
+// hypervector represents the "low" value and an orthogonal hypervector
+// (D/2 balanced flips of the seed) represents the "high" value. Values are
+// mapped to low/high by comparison against a fitted midpoint, which makes
+// 0/1, 1/2 (the Sylhet sex coding) and any other two-level coding work
+// without preprocessing.
+type BinaryEncoder struct {
+	dim      int
+	midpoint float64
+	low      hv.Vector
+	high     hv.Vector
+}
+
+// NewBinaryEncoder builds a binary encoder at dimensionality dim whose
+// decision midpoint is mid: Encode(t) returns the high vector iff t > mid.
+func NewBinaryEncoder(r *rng.Source, dim int, mid float64) *BinaryEncoder {
+	if dim <= 0 {
+		panic(fmt.Sprintf("encode: invalid dimensionality %d", dim))
+	}
+	low := hv.RandBalanced(r, dim)
+	return &BinaryEncoder{dim: dim, midpoint: mid, low: low, high: hv.Orthogonal(low, r)}
+}
+
+// Dim returns the hypervector dimensionality.
+func (e *BinaryEncoder) Dim() int { return e.dim }
+
+// Midpoint returns the low/high decision threshold.
+func (e *BinaryEncoder) Midpoint() float64 { return e.midpoint }
+
+// Encode returns the high hypervector if t > midpoint, else the low one.
+func (e *BinaryEncoder) Encode(t float64) hv.Vector {
+	if t > e.midpoint {
+		return e.high.Clone()
+	}
+	return e.low.Clone()
+}
+
+// Low and High return copies of the two codeword hypervectors.
+func (e *BinaryEncoder) Low() hv.Vector  { return e.low.Clone() }
+func (e *BinaryEncoder) High() hv.Vector { return e.high.Clone() }
+
+// ConstantEncoder always returns the same hypervector; it is what a
+// degenerate feature (a single observed value) fits to, and is also handy
+// in tests.
+type ConstantEncoder struct{ v hv.Vector }
+
+// NewConstantEncoder returns an encoder pinned to v.
+func NewConstantEncoder(v hv.Vector) *ConstantEncoder { return &ConstantEncoder{v: v} }
+
+// Dim returns the hypervector dimensionality.
+func (e *ConstantEncoder) Dim() int { return e.v.Dim() }
+
+// Encode returns the pinned hypervector for any input.
+func (e *ConstantEncoder) Encode(float64) hv.Vector { return e.v.Clone() }

@@ -1,0 +1,164 @@
+// Package eval runs the paper's validation protocols over any ml.Classifier:
+// stratified k-fold cross-validation (Table III), holdout testing with full
+// metric reports (Tables IV and V), repeated train/val/test trials
+// (Table II's sequential network protocol) and generic leave-one-out.
+// Folds are trained and evaluated in parallel.
+package eval
+
+import (
+	"fmt"
+	"sync"
+
+	"hdfe/internal/dataset"
+	"hdfe/internal/metrics"
+	"hdfe/internal/ml"
+)
+
+// Select gathers the given rows of X and y into dense slices.
+func Select(X [][]float64, y []int, idx []int) ([][]float64, []int) {
+	sx := make([][]float64, len(idx))
+	sy := make([]int, len(idx))
+	for i, r := range idx {
+		sx[i] = X[r]
+		sy[i] = y[r]
+	}
+	return sx, sy
+}
+
+// TrainTest fits a fresh classifier on the train rows and returns its
+// confusion matrix on the test rows.
+func TrainTest(f ml.Factory, X [][]float64, y []int, train, test []int) (metrics.Confusion, error) {
+	clf := f()
+	trX, trY := Select(X, y, train)
+	teX, teY := Select(X, y, test)
+	if err := clf.Fit(trX, trY); err != nil {
+		return metrics.Confusion{}, fmt.Errorf("eval: fit failed: %w", err)
+	}
+	return metrics.NewConfusion(teY, clf.Predict(teX)), nil
+}
+
+// FoldResult is the outcome of one cross-validation fold.
+type FoldResult struct {
+	// Test is the confusion matrix on the held-out fold.
+	Test metrics.Confusion
+	// Train is the confusion matrix re-substituted on the training rows.
+	Train metrics.Confusion
+}
+
+// CrossValidate runs the given folds, each with a freshly created
+// classifier, in parallel. Factories are invoked serially in fold order
+// before any training starts, so factory-internal seeding stays
+// deterministic. The returned slice is indexed by fold.
+func CrossValidate(f ml.Factory, X [][]float64, y []int, folds []dataset.Fold) ([]FoldResult, error) {
+	clfs := make([]ml.Classifier, len(folds))
+	for i := range folds {
+		clfs[i] = f()
+	}
+	results := make([]FoldResult, len(folds))
+	errs := make([]error, len(folds))
+	var wg sync.WaitGroup
+	for i := range folds {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fold := folds[i]
+			trX, trY := Select(X, y, fold.Train)
+			teX, teY := Select(X, y, fold.Test)
+			if err := clfs[i].Fit(trX, trY); err != nil {
+				errs[i] = fmt.Errorf("eval: fold %d fit: %w", i, err)
+				return
+			}
+			results[i] = FoldResult{
+				Test:  metrics.NewConfusion(teY, clfs[i].Predict(teX)),
+				Train: metrics.NewConfusion(trY, clfs[i].Predict(trX)),
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// CVScore reports the mean held-out accuracy across folds — the quantity
+// sklearn's cross_val_score computes and the paper's Table III tabulates as
+// "training accuracy" (accuracy measured during the training phase of the
+// study, before the final holdout test).
+func CVScore(results []FoldResult) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range results {
+		s += r.Test.Accuracy()
+	}
+	return s / float64(len(results))
+}
+
+// PooledTest sums the held-out confusion matrices of all folds, which is
+// how leave-one-out results aggregate.
+func PooledTest(results []FoldResult) metrics.Confusion {
+	var c metrics.Confusion
+	for _, r := range results {
+		c = c.Add(r.Test)
+	}
+	return c
+}
+
+// Repeated runs trials independent train/test evaluations, each with fresh
+// splits produced by split (called serially with the trial index) and a
+// fresh classifier, and returns the per-trial test confusions. It is the
+// paper's "repeated the experiment 10 times and reported the average
+// testing accuracy" protocol.
+func Repeated(f ml.Factory, X [][]float64, y []int, trials int,
+	split func(trial int) (train, test []int)) ([]metrics.Confusion, error) {
+
+	type job struct {
+		clf         ml.Classifier
+		train, test []int
+	}
+	jobs := make([]job, trials)
+	for t := 0; t < trials; t++ {
+		train, test := split(t)
+		jobs[t] = job{clf: f(), train: train, test: test}
+	}
+	out := make([]metrics.Confusion, trials)
+	errs := make([]error, trials)
+	var wg sync.WaitGroup
+	for t := range jobs {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			j := jobs[t]
+			trX, trY := Select(X, y, j.train)
+			teX, teY := Select(X, y, j.test)
+			if err := j.clf.Fit(trX, trY); err != nil {
+				errs[t] = fmt.Errorf("eval: trial %d fit: %w", t, err)
+				return
+			}
+			out[t] = metrics.NewConfusion(teY, j.clf.Predict(teX))
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// MeanAccuracy averages the accuracies of the given confusions.
+func MeanAccuracy(cs []metrics.Confusion) float64 {
+	if len(cs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, c := range cs {
+		s += c.Accuracy()
+	}
+	return s / float64(len(cs))
+}

@@ -1,0 +1,64 @@
+package eval
+
+import (
+	"fmt"
+	"sync"
+
+	"hdfe/internal/dataset"
+	"hdfe/internal/metrics"
+	"hdfe/internal/ml"
+)
+
+// PooledScores cross-validates a scoring classifier and returns one
+// positive-class score and one hard prediction per record, each taken from
+// the fold where the record was held out. Pooled scores feed threshold-free
+// metrics (AUC) that the per-fold confusions cannot provide.
+func PooledScores(f ml.Factory, X [][]float64, y []int, folds []dataset.Fold) (scores []float64, preds []int, err error) {
+	clfs := make([]ml.Classifier, len(folds))
+	for i := range folds {
+		clfs[i] = f()
+		if _, ok := clfs[i].(ml.Scorer); !ok {
+			return nil, nil, fmt.Errorf("eval: model %T cannot score", clfs[i])
+		}
+	}
+	scores = make([]float64, len(y))
+	preds = make([]int, len(y))
+	errs := make([]error, len(folds))
+	var wg sync.WaitGroup
+	for i := range folds {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fold := folds[i]
+			trX, trY := Select(X, y, fold.Train)
+			teX, _ := Select(X, y, fold.Test)
+			if err := clfs[i].Fit(trX, trY); err != nil {
+				errs[i] = fmt.Errorf("eval: fold %d fit: %w", i, err)
+				return
+			}
+			s := clfs[i].(ml.Scorer).Scores(teX)
+			p := clfs[i].Predict(teX)
+			for k, row := range fold.Test {
+				scores[row] = s[k]
+				preds[row] = p[k]
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, nil, e
+		}
+	}
+	return scores, preds, nil
+}
+
+// CVAUC cross-validates and returns the pooled ROC-AUC plus the pooled
+// confusion matrix.
+func CVAUC(f ml.Factory, X [][]float64, y []int, folds []dataset.Fold) (auc float64, conf metrics.Confusion, err error) {
+	scores, preds, err := PooledScores(f, X, y, folds)
+	if err != nil {
+		return 0, metrics.Confusion{}, err
+	}
+	return metrics.AUC(y, scores), metrics.NewConfusion(y, preds), nil
+}

@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"testing"
+
+	"hdfe/internal/dataset"
+	"hdfe/internal/ml"
+	"hdfe/internal/rng"
+)
+
+// scoringThreshold wraps thresholdClassifier with a Scores method.
+type scoringThreshold struct{ thresholdClassifier }
+
+func (s *scoringThreshold) Scores(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, row := range X {
+		out[i] = row[0] - s.cut
+	}
+	return out
+}
+
+func TestPooledScoresCoverEveryRecord(t *testing.T) {
+	X, y := separableData(40)
+	d := dataset.MustNew("s", []dataset.Feature{{Name: "x"}}, X, y)
+	folds := dataset.StratifiedKFold(d, 4, rng.New(1))
+	f := func() ml.Classifier { return &scoringThreshold{} }
+	scores, preds, err := PooledScores(f, X, y, folds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 40 || len(preds) != 40 {
+		t.Fatal("length mismatch")
+	}
+	for i := range preds {
+		if preds[i] != y[i] {
+			t.Fatalf("separable data mispredicted at %d", i)
+		}
+		if (scores[i] > 0) != (y[i] == 1) {
+			t.Fatalf("score sign wrong at %d", i)
+		}
+	}
+}
+
+func TestCVAUCOnSeparableDataIsOne(t *testing.T) {
+	X, y := separableData(30)
+	d := dataset.MustNew("s", []dataset.Feature{{Name: "x"}}, X, y)
+	folds := dataset.StratifiedKFold(d, 3, rng.New(2))
+	f := func() ml.Classifier { return &scoringThreshold{} }
+	auc, conf, err := CVAUC(f, X, y, folds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1 {
+		t.Fatalf("AUC %v on separable data", auc)
+	}
+	if conf.Accuracy() != 1 {
+		t.Fatalf("pooled accuracy %v", conf.Accuracy())
+	}
+}
+
+func TestPooledScoresRejectsNonScorer(t *testing.T) {
+	X, y := separableData(10)
+	folds := dataset.LeaveOneOut(10)
+	f := func() ml.Classifier { return &thresholdClassifier{} }
+	if _, _, err := PooledScores(f, X, y, folds); err == nil {
+		t.Fatal("non-scorer accepted")
+	}
+}
+
+func TestPooledScoresPropagatesFitError(t *testing.T) {
+	X, y := separableData(10)
+	folds := dataset.LeaveOneOut(10)
+	f := func() ml.Classifier { return &scoringThreshold{thresholdClassifier{failOn: true}} }
+	if _, _, err := PooledScores(f, X, y, folds); err == nil {
+		t.Fatal("fit error not propagated")
+	}
+}

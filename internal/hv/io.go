@@ -1,0 +1,40 @@
+package hv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// WriteVector serializes v as little-endian: int32 dimensionality followed
+// by the packed words. The format matches ReadVector.
+func WriteVector(w io.Writer, v Vector) error {
+	if err := binary.Write(w, binary.LittleEndian, int32(v.dim)); err != nil {
+		return fmt.Errorf("hv: writing vector dim: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, v.words); err != nil {
+		return fmt.Errorf("hv: writing vector words: %w", err)
+	}
+	return nil
+}
+
+// ReadVector deserializes a vector written by WriteVector. maxDim bounds
+// the accepted dimensionality so corrupt input cannot trigger huge
+// allocations; pass 0 for a 1M-bit default bound.
+func ReadVector(r io.Reader, maxDim int) (Vector, error) {
+	if maxDim <= 0 {
+		maxDim = 1 << 20
+	}
+	var dim int32
+	if err := binary.Read(r, binary.LittleEndian, &dim); err != nil {
+		return Vector{}, fmt.Errorf("hv: reading vector dim: %w", err)
+	}
+	if dim <= 0 || int(dim) > maxDim {
+		return Vector{}, fmt.Errorf("hv: implausible vector dimensionality %d", dim)
+	}
+	words := make([]uint64, (int(dim)+wordBits-1)/wordBits)
+	if err := binary.Read(r, binary.LittleEndian, words); err != nil {
+		return Vector{}, fmt.Errorf("hv: reading vector words: %w", err)
+	}
+	return FromWords(words, int(dim)), nil
+}

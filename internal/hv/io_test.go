@@ -1,0 +1,64 @@
+package hv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hdfe/internal/rng"
+)
+
+func TestVectorIORoundTrip(t *testing.T) {
+	r := rng.New(1)
+	for _, d := range []int{1, 63, 64, 65, 10000} {
+		v := Rand(r, d)
+		var buf bytes.Buffer
+		if err := WriteVector(&buf, v); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadVector(&buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(v) {
+			t.Fatalf("dim %d: round trip changed vector", d)
+		}
+	}
+}
+
+func TestReadVectorRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"",
+		"\x00\x00\x00\x00", // dim 0
+		"\xff\xff\xff\xff", // negative dim
+		"\x40\x00\x00\x00", // dim 64 but no words follow
+	}
+	for i, in := range cases {
+		if _, err := ReadVector(strings.NewReader(in), 0); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadVectorHonorsMaxDim(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVector(&buf, New(1000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadVector(&buf, 100); err == nil {
+		t.Fatal("oversize vector accepted")
+	}
+}
+
+func TestFromWordsMasksAndPanics(t *testing.T) {
+	v := FromWords([]uint64{^uint64(0)}, 10)
+	if v.OnesCount() != 10 {
+		t.Fatalf("FromWords did not mask tail: %d ones", v.OnesCount())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short words accepted")
+		}
+	}()
+	FromWords([]uint64{0}, 100)
+}

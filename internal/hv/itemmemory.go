@@ -1,0 +1,89 @@
+package hv
+
+import (
+	"fmt"
+
+	"hdfe/internal/parallel"
+)
+
+// ItemMemory is the HDC cleanup/associative memory: a store of named
+// codeword hypervectors that maps a noisy query back to the nearest stored
+// item. Kanerva's architecture uses it to recover clean symbols after
+// bundling/binding arithmetic; here it also backs decoding encoded feature
+// values (see encode.LevelEncoder.Decode).
+type ItemMemory struct {
+	names []string
+	vecs  []Vector
+	dim   int
+}
+
+// NewItemMemory returns an empty memory for dimensionality dim.
+func NewItemMemory(dim int) *ItemMemory {
+	if dim <= 0 {
+		panic(fmt.Sprintf("hv: invalid item memory dimensionality %d", dim))
+	}
+	return &ItemMemory{dim: dim}
+}
+
+// Len returns the number of stored items.
+func (m *ItemMemory) Len() int { return len(m.vecs) }
+
+// Store adds a named codeword. Names need not be unique; Recall returns
+// the first-stored on exact ties. The vector is copied.
+func (m *ItemMemory) Store(name string, v Vector) {
+	if v.Dim() != m.dim {
+		panic(fmt.Sprintf("hv: item dim %d, memory dim %d", v.Dim(), m.dim))
+	}
+	m.names = append(m.names, name)
+	m.vecs = append(m.vecs, v.Clone())
+}
+
+// Recall returns the stored item nearest to q under Hamming distance.
+// It panics on an empty memory.
+func (m *ItemMemory) Recall(q Vector) (name string, dist int) {
+	if len(m.vecs) == 0 {
+		panic("hv: recall from empty item memory")
+	}
+	idx, d := Nearest(q, m.vecs, -1)
+	return m.names[idx], d
+}
+
+// RecallK returns the k nearest stored item names in ascending distance
+// order (clamped to the memory size).
+func (m *ItemMemory) RecallK(q Vector, k int) []string {
+	if len(m.vecs) == 0 {
+		panic("hv: recall from empty item memory")
+	}
+	idxs := NearestK(q, m.vecs, -1, k)
+	out := make([]string, len(idxs))
+	for i, idx := range idxs {
+		out[i] = m.names[idx]
+	}
+	return out
+}
+
+// RecallAll recalls a batch of queries in parallel.
+func (m *ItemMemory) RecallAll(qs []Vector) []string {
+	out := make([]string, len(qs))
+	parallel.For(len(qs), func(i int) {
+		out[i], _ = m.Recall(qs[i])
+	})
+	return out
+}
+
+// Cleanness reports how unambiguous a recall is: the margin between the
+// best and second-best match distances, normalized by dimensionality.
+// 0 means a tie (ambiguous); larger is cleaner. A memory with a single
+// item returns 1.
+func (m *ItemMemory) Cleanness(q Vector) float64 {
+	if len(m.vecs) == 0 {
+		panic("hv: recall from empty item memory")
+	}
+	if len(m.vecs) == 1 {
+		return 1
+	}
+	idxs := NearestK(q, m.vecs, -1, 2)
+	d0 := Hamming(q, m.vecs[idxs[0]])
+	d1 := Hamming(q, m.vecs[idxs[1]])
+	return float64(d1-d0) / float64(m.dim)
+}

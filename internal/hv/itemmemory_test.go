@@ -1,0 +1,132 @@
+package hv
+
+import (
+	"testing"
+
+	"hdfe/internal/rng"
+)
+
+func TestItemMemoryRecallExact(t *testing.T) {
+	r := rng.New(1)
+	m := NewItemMemory(1000)
+	vs := make([]Vector, 5)
+	names := []string{"a", "b", "c", "d", "e"}
+	for i := range vs {
+		vs[i] = Rand(r, 1000)
+		m.Store(names[i], vs[i])
+	}
+	if m.Len() != 5 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for i, v := range vs {
+		name, dist := m.Recall(v)
+		if name != names[i] || dist != 0 {
+			t.Fatalf("recall of stored item %d = (%s, %d)", i, name, dist)
+		}
+	}
+}
+
+func TestItemMemoryRecallNoisy(t *testing.T) {
+	r := rng.New(2)
+	m := NewItemMemory(2000)
+	var stored []Vector
+	for i := 0; i < 8; i++ {
+		v := Rand(r, 2000)
+		stored = append(stored, v)
+		m.Store(string(rune('a'+i)), v)
+	}
+	// 20% bit noise still recalls the right item (concentration of
+	// distance: noisy copy is at 0.2, others at ~0.5).
+	for i, v := range stored {
+		q := v.Clone()
+		FlipRandom(q, r, 400)
+		name, dist := m.Recall(q)
+		if name != string(rune('a'+i)) {
+			t.Fatalf("noisy recall of %d returned %s", i, name)
+		}
+		if dist != 400 {
+			t.Fatalf("noisy recall distance %d, want 400", dist)
+		}
+	}
+}
+
+func TestItemMemoryStoreCopies(t *testing.T) {
+	m := NewItemMemory(64)
+	v := New(64)
+	m.Store("zero", v)
+	v.FlipBit(0) // mutate after store
+	if _, dist := m.Recall(New(64)); dist != 0 {
+		t.Fatal("Store did not copy the vector")
+	}
+}
+
+func TestItemMemoryRecallK(t *testing.T) {
+	r := rng.New(3)
+	m := NewItemMemory(500)
+	base := Rand(r, 500)
+	m.Store("far", Rand(r, 500))
+	near := base.Clone()
+	FlipRandom(near, r, 10)
+	m.Store("near", near)
+	m.Store("exact", base)
+	got := m.RecallK(base, 2)
+	if len(got) != 2 || got[0] != "exact" || got[1] != "near" {
+		t.Fatalf("RecallK = %v", got)
+	}
+	if all := m.RecallK(base, 99); len(all) != 3 {
+		t.Fatalf("clamped RecallK returned %d", len(all))
+	}
+}
+
+func TestItemMemoryRecallAll(t *testing.T) {
+	r := rng.New(4)
+	m := NewItemMemory(300)
+	a, b := Rand(r, 300), Rand(r, 300)
+	m.Store("a", a)
+	m.Store("b", b)
+	got := m.RecallAll([]Vector{b, a, b})
+	want := []string{"b", "a", "b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RecallAll[%d] = %s", i, got[i])
+		}
+	}
+}
+
+func TestItemMemoryCleanness(t *testing.T) {
+	r := rng.New(5)
+	m := NewItemMemory(1000)
+	v := Rand(r, 1000)
+	m.Store("only", v)
+	if c := m.Cleanness(v); c != 1 {
+		t.Fatalf("single-item cleanness %v", c)
+	}
+	m.Store("other", Rand(r, 1000))
+	if c := m.Cleanness(v); c < 0.3 {
+		t.Fatalf("exact-match cleanness %v, want ~0.5", c)
+	}
+	// A query equidistant-ish between items is ambiguous.
+	if c := m.Cleanness(Rand(r, 1000)); c > 0.2 {
+		t.Fatalf("random-query cleanness %v, want small", c)
+	}
+}
+
+func TestItemMemoryPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewItemMemory(0) },
+		func() { NewItemMemory(8).Store("x", New(9)) },
+		func() { NewItemMemory(8).Recall(New(8)) },
+		func() { NewItemMemory(8).RecallK(New(8), 1) },
+		func() { NewItemMemory(8).Cleanness(New(8)) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

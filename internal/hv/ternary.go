@@ -1,0 +1,146 @@
+package hv
+
+import (
+	"fmt"
+	"math"
+
+	"hdfe/internal/rng"
+)
+
+// Bipolar is a hypervector with components in {-1, +1} (the paper's §II
+// notes ternary/integer hypervectors as an alternative to binary ones).
+// A zero component is permitted transiently inside accumulators but never
+// in a finished Bipolar vector.
+type Bipolar []int8
+
+// NewBipolar returns the all +1 bipolar vector of dimensionality d.
+func NewBipolar(d int) Bipolar {
+	if d <= 0 {
+		panic(fmt.Sprintf("hv: invalid bipolar dimensionality %d", d))
+	}
+	b := make(Bipolar, d)
+	for i := range b {
+		b[i] = 1
+	}
+	return b
+}
+
+// RandBipolar returns a bipolar vector with each component ±1 uniformly.
+func RandBipolar(r *rng.Source, d int) Bipolar {
+	b := make(Bipolar, d)
+	for i := range b {
+		if r.Uint64()&1 == 1 {
+			b[i] = 1
+		} else {
+			b[i] = -1
+		}
+	}
+	return b
+}
+
+// ToBipolar maps a binary hypervector to its bipolar image: bit 1 → +1,
+// bit 0 → -1.
+func ToBipolar(v Vector) Bipolar {
+	b := make(Bipolar, v.dim)
+	for i := 0; i < v.dim; i++ {
+		if v.Bit(i) {
+			b[i] = 1
+		} else {
+			b[i] = -1
+		}
+	}
+	return b
+}
+
+// FromBipolar maps a bipolar vector back to binary: +1 → 1, otherwise 0.
+func FromBipolar(b Bipolar) Vector {
+	v := New(len(b))
+	for i, c := range b {
+		if c > 0 {
+			v.setBit(i)
+		}
+	}
+	return v
+}
+
+// Dot returns the integer dot product of a and b; for bipolar vectors
+// Dot = D - 2*Hamming(binary images).
+func Dot(a, b Bipolar) int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("hv: bipolar dim mismatch %d != %d", len(a), len(b)))
+	}
+	s := 0
+	for i, x := range a {
+		s += int(x) * int(b[i])
+	}
+	return s
+}
+
+// Cosine returns the cosine similarity of a and b; for ±1 vectors this is
+// Dot/D.
+func Cosine(a, b Bipolar) float64 {
+	return float64(Dot(a, b)) / float64(len(a))
+}
+
+// BipolarAccumulator sums bipolar vectors componentwise so a sign bundle
+// can be extracted. Sign bundling of bipolar images is the algebraic twin
+// of binary majority voting (verified by a property test).
+type BipolarAccumulator struct {
+	sums  []int32
+	total int
+}
+
+// NewBipolarAccumulator returns an empty accumulator of dimensionality d.
+func NewBipolarAccumulator(d int) *BipolarAccumulator {
+	if d <= 0 {
+		panic(fmt.Sprintf("hv: invalid bipolar accumulator dimensionality %d", d))
+	}
+	return &BipolarAccumulator{sums: make([]int32, d)}
+}
+
+// Add accumulates b.
+func (a *BipolarAccumulator) Add(b Bipolar) {
+	if len(b) != len(a.sums) {
+		panic(fmt.Sprintf("hv: bipolar accumulator dim %d, vector dim %d", len(a.sums), len(b)))
+	}
+	for i, c := range b {
+		a.sums[i] += int32(c)
+	}
+	a.total++
+}
+
+// Count returns the number of vectors added.
+func (a *BipolarAccumulator) Count() int { return a.total }
+
+// Sign extracts the bundle: component i is +1 if the sum is positive, -1 if
+// negative, and tie (sum of zero, only possible for even counts) resolves
+// to +1, mirroring the paper's ties-to-one rule.
+func (a *BipolarAccumulator) Sign() Bipolar {
+	if a.total == 0 {
+		panic("hv: Sign of empty bipolar accumulator")
+	}
+	out := make(Bipolar, len(a.sums))
+	for i, s := range a.sums {
+		if s >= 0 {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// BipolarNearest returns the index in pool of the vector with the highest
+// cosine similarity to query (ties to the lowest index).
+func BipolarNearest(query Bipolar, pool []Bipolar) int {
+	if len(pool) == 0 {
+		panic("hv: BipolarNearest with empty pool")
+	}
+	best, bestSim := -1, math.Inf(-1)
+	for i, p := range pool {
+		if s := Cosine(query, p); s > bestSim {
+			best, bestSim = i, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,106 @@
+package hv
+
+import (
+	"math"
+	"testing"
+
+	"hdfe/internal/rng"
+)
+
+func TestBipolarRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	v := Rand(r, 257)
+	if !FromBipolar(ToBipolar(v)).Equal(v) {
+		t.Fatal("binary -> bipolar -> binary round trip failed")
+	}
+}
+
+func TestDotHammingIdentity(t *testing.T) {
+	// Dot(bipolar(a), bipolar(b)) == D - 2*Hamming(a, b).
+	r := rng.New(2)
+	const d = 500
+	for trial := 0; trial < 20; trial++ {
+		a, b := Rand(r, d), Rand(r, d)
+		dot := Dot(ToBipolar(a), ToBipolar(b))
+		if dot != d-2*Hamming(a, b) {
+			t.Fatalf("Dot = %d, want %d", dot, d-2*Hamming(a, b))
+		}
+	}
+}
+
+func TestCosineBounds(t *testing.T) {
+	r := rng.New(3)
+	a := RandBipolar(r, 1000)
+	if c := Cosine(a, a); c != 1 {
+		t.Fatalf("self cosine = %v", c)
+	}
+	neg := make(Bipolar, len(a))
+	for i := range a {
+		neg[i] = -a[i]
+	}
+	if c := Cosine(a, neg); c != -1 {
+		t.Fatalf("antipodal cosine = %v", c)
+	}
+	b := RandBipolar(r, 1000)
+	if c := Cosine(a, b); math.Abs(c) > 0.2 {
+		t.Fatalf("independent cosine = %v, want ~0", c)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Dot(NewBipolar(3), NewBipolar(4))
+}
+
+func TestBipolarAccumulatorSignTies(t *testing.T) {
+	acc := NewBipolarAccumulator(2)
+	acc.Add(Bipolar{1, -1})
+	acc.Add(Bipolar{-1, 1})
+	// Sums are zero: ties resolve to +1, matching binary TieToOne.
+	got := acc.Sign()
+	if got[0] != 1 || got[1] != 1 {
+		t.Fatalf("tie sign = %v, want all +1", got)
+	}
+}
+
+func TestBipolarAccumulatorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewBipolarAccumulator(0) },
+		func() { NewBipolarAccumulator(3).Sign() },
+		func() { NewBipolarAccumulator(3).Add(NewBipolar(4)) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBipolarNearest(t *testing.T) {
+	r := rng.New(4)
+	pool := make([]Bipolar, 10)
+	for i := range pool {
+		pool[i] = RandBipolar(r, 400)
+	}
+	if got := BipolarNearest(pool[6], pool); got != 6 {
+		t.Fatalf("BipolarNearest = %d, want 6", got)
+	}
+}
+
+func TestNewBipolarAllOnes(t *testing.T) {
+	b := NewBipolar(5)
+	for i, c := range b {
+		if c != 1 {
+			t.Fatalf("component %d = %d", i, c)
+		}
+	}
+}

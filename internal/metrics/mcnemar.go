@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// McNemarResult summarizes McNemar's test on two classifiers evaluated on
+// the same examples — the standard paired test for "does model B really
+// beat model A?" claims like the paper's features-vs-hypervectors
+// comparisons.
+type McNemarResult struct {
+	// OnlyACorrect counts examples A got right and B got wrong; OnlyBCorrect
+	// the reverse. These discordant pairs are all the test uses.
+	OnlyACorrect int
+	OnlyBCorrect int
+	// Statistic is the continuity-corrected chi-squared statistic
+	// (|b-c|-1)^2/(b+c), 0 when there are no discordant pairs.
+	Statistic float64
+	// PValue is the two-sided p-value from the chi-squared distribution
+	// with one degree of freedom (1 when there are no discordant pairs).
+	PValue float64
+}
+
+// McNemar runs McNemar's test given true labels and the two classifiers'
+// predictions. It panics on length mismatches.
+func McNemar(yTrue, predA, predB []int) McNemarResult {
+	if len(yTrue) != len(predA) || len(yTrue) != len(predB) {
+		panic(fmt.Sprintf("metrics: McNemar length mismatch %d/%d/%d",
+			len(yTrue), len(predA), len(predB)))
+	}
+	var res McNemarResult
+	for i, truth := range yTrue {
+		aRight := predA[i] == truth
+		bRight := predB[i] == truth
+		switch {
+		case aRight && !bRight:
+			res.OnlyACorrect++
+		case bRight && !aRight:
+			res.OnlyBCorrect++
+		}
+	}
+	n := res.OnlyACorrect + res.OnlyBCorrect
+	if n == 0 {
+		res.PValue = 1
+		return res
+	}
+	diff := math.Abs(float64(res.OnlyACorrect-res.OnlyBCorrect)) - 1
+	if diff < 0 {
+		diff = 0
+	}
+	res.Statistic = diff * diff / float64(n)
+	res.PValue = chiSquared1CDFUpper(res.Statistic)
+	return res
+}
+
+// chiSquared1CDFUpper returns P(X >= x) for a chi-squared distribution
+// with one degree of freedom: erfc(sqrt(x/2)).
+func chiSquared1CDFUpper(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return math.Erfc(math.Sqrt(x / 2))
+}

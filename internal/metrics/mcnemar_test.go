@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMcNemarIdenticalModels(t *testing.T) {
+	y := []int{0, 1, 0, 1, 1}
+	p := []int{0, 1, 1, 1, 0}
+	res := McNemar(y, p, p)
+	if res.OnlyACorrect != 0 || res.OnlyBCorrect != 0 {
+		t.Fatalf("discordants for identical models: %+v", res)
+	}
+	if res.PValue != 1 || res.Statistic != 0 {
+		t.Fatalf("identical models p=%v stat=%v", res.PValue, res.Statistic)
+	}
+}
+
+func TestMcNemarCountsDiscordants(t *testing.T) {
+	y := []int{1, 1, 1, 1, 0, 0}
+	a := []int{1, 1, 0, 0, 0, 1} // right on 0,1,4
+	b := []int{1, 0, 1, 0, 1, 1} // right on 0,2
+	res := McNemar(y, a, b)
+	// A-only correct: idx 1, 4 -> 2. B-only correct: idx 2 -> 1.
+	if res.OnlyACorrect != 2 || res.OnlyBCorrect != 1 {
+		t.Fatalf("discordants %d/%d, want 2/1", res.OnlyACorrect, res.OnlyBCorrect)
+	}
+}
+
+func TestMcNemarStrongDominanceIsSignificant(t *testing.T) {
+	// B correct on 40 examples A misses; A correct on 2 B misses.
+	var y, a, b []int
+	for i := 0; i < 40; i++ {
+		y = append(y, 1)
+		a = append(a, 0)
+		b = append(b, 1)
+	}
+	for i := 0; i < 2; i++ {
+		y = append(y, 1)
+		a = append(a, 1)
+		b = append(b, 0)
+	}
+	res := McNemar(y, a, b)
+	if res.PValue > 0.001 {
+		t.Fatalf("dominant model p = %v, want tiny", res.PValue)
+	}
+}
+
+func TestMcNemarBalancedDiscordanceNotSignificant(t *testing.T) {
+	// 5 discordant each way: no evidence of difference.
+	var y, a, b []int
+	for i := 0; i < 5; i++ {
+		y = append(y, 1, 1)
+		a = append(a, 1, 0)
+		b = append(b, 0, 1)
+	}
+	res := McNemar(y, a, b)
+	if res.PValue < 0.5 {
+		t.Fatalf("balanced discordance p = %v, want large", res.PValue)
+	}
+}
+
+func TestMcNemarKnownStatistic(t *testing.T) {
+	// b=10, c=2: stat = (|10-2|-1)^2/12 = 49/12.
+	var y, a, b []int
+	for i := 0; i < 10; i++ {
+		y = append(y, 1)
+		a = append(a, 1)
+		b = append(b, 0)
+	}
+	for i := 0; i < 2; i++ {
+		y = append(y, 1)
+		a = append(a, 0)
+		b = append(b, 1)
+	}
+	res := McNemar(y, a, b)
+	want := 49.0 / 12.0
+	if math.Abs(res.Statistic-want) > 1e-12 {
+		t.Fatalf("statistic %v, want %v", res.Statistic, want)
+	}
+	// p = erfc(sqrt(stat/2)); spot check against a reference value
+	// (chi2(4.0833, df=1) upper tail ~ 0.0433).
+	if math.Abs(res.PValue-0.0433) > 0.002 {
+		t.Fatalf("p-value %v, want ~0.0433", res.PValue)
+	}
+}
+
+func TestMcNemarPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	McNemar([]int{1}, []int{1, 0}, []int{1})
+}

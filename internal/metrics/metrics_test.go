@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfusionCounts(t *testing.T) {
+	yTrue := []int{1, 1, 1, 0, 0, 0, 1, 0}
+	yPred := []int{1, 1, 0, 0, 1, 0, 1, 0}
+	c := NewConfusion(yTrue, yPred)
+	if c.TP != 3 || c.FN != 1 || c.FP != 1 || c.TN != 3 {
+		t.Fatalf("got %v", c)
+	}
+	if c.Total() != 8 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+}
+
+func TestConfusionPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewConfusion([]int{1}, []int{1, 0}) },
+		func() { NewConfusion([]int{2}, []int{1}) },
+		func() { NewConfusion([]int{1}, []int{-1}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMetricValues(t *testing.T) {
+	c := Confusion{TP: 40, TN: 30, FP: 10, FN: 20}
+	if got := c.Accuracy(); got != 0.7 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if got := c.Precision(); got != 0.8 {
+		t.Errorf("Precision = %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("Recall = %v", got)
+	}
+	if got := c.Specificity(); got != 0.75 {
+		t.Errorf("Specificity = %v", got)
+	}
+	wantF1 := 2 * 0.8 * (2.0 / 3.0) / (0.8 + 2.0/3.0)
+	if got := c.F1(); math.Abs(got-wantF1) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", got, wantF1)
+	}
+}
+
+func TestMetricsEdgeCases(t *testing.T) {
+	empty := Confusion{}
+	if !math.IsNaN(empty.Accuracy()) || !math.IsNaN(empty.Precision()) ||
+		!math.IsNaN(empty.Recall()) || !math.IsNaN(empty.Specificity()) || !math.IsNaN(empty.F1()) {
+		t.Fatal("empty confusion should yield NaN everywhere")
+	}
+	// All predicted negative: precision undefined, recall zero.
+	c := NewConfusion([]int{1, 0}, []int{0, 0})
+	if !math.IsNaN(c.Precision()) {
+		t.Fatal("precision with no positive predictions should be NaN")
+	}
+	if c.Recall() != 0 {
+		t.Fatal("recall should be 0")
+	}
+	if !math.IsNaN(c.F1()) {
+		t.Fatal("F1 should be NaN when precision is NaN")
+	}
+}
+
+func TestPerfectAndWorst(t *testing.T) {
+	perfect := NewConfusion([]int{1, 0, 1}, []int{1, 0, 1})
+	if perfect.Accuracy() != 1 || perfect.F1() != 1 {
+		t.Fatal("perfect classifier scores wrong")
+	}
+	inverted := NewConfusion([]int{1, 0}, []int{0, 1})
+	if inverted.Accuracy() != 0 {
+		t.Fatal("inverted classifier accuracy != 0")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := Confusion{TP: 1, TN: 2, FP: 3, FN: 4}
+	b := Confusion{TP: 10, TN: 20, FP: 30, FN: 40}
+	s := a.Add(b)
+	if s.TP != 11 || s.TN != 22 || s.FP != 33 || s.FN != 44 {
+		t.Fatalf("Add = %v", s)
+	}
+}
+
+func TestSummarizeMatchesIndividual(t *testing.T) {
+	c := Confusion{TP: 7, TN: 5, FP: 2, FN: 3}
+	r := c.Summarize()
+	if r.Precision != c.Precision() || r.Recall != c.Recall() ||
+		r.Specificity != c.Specificity() || r.F1 != c.F1() || r.Accuracy != c.Accuracy() {
+		t.Fatal("Report disagrees with methods")
+	}
+}
+
+func TestAccuracyHelper(t *testing.T) {
+	if got := Accuracy([]int{1, 1, 0, 0}, []int{1, 0, 0, 0}); got != 0.75 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+}
+
+func TestAUCPerfectSeparation(t *testing.T) {
+	y := []int{0, 0, 1, 1}
+	s := []float64{0.1, 0.2, 0.8, 0.9}
+	if got := AUC(y, s); got != 1 {
+		t.Fatalf("AUC = %v, want 1", got)
+	}
+	// Inverted scores: AUC 0.
+	sInv := []float64{0.9, 0.8, 0.2, 0.1}
+	if got := AUC(y, sInv); got != 0 {
+		t.Fatalf("inverted AUC = %v, want 0", got)
+	}
+}
+
+func TestAUCRandomIsHalf(t *testing.T) {
+	// Constant scores: all tied, AUC must be exactly 0.5.
+	y := []int{0, 1, 0, 1, 1}
+	s := []float64{0.5, 0.5, 0.5, 0.5, 0.5}
+	if got := AUC(y, s); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("tied AUC = %v, want 0.5", got)
+	}
+}
+
+func TestAUCKnownValue(t *testing.T) {
+	// Hand-computed: pairs (pos > neg): scores pos {0.4, 0.8}, neg {0.3, 0.6}.
+	// Comparisons: 0.4>0.3 yes, 0.4>0.6 no, 0.8>0.3 yes, 0.8>0.6 yes -> 3/4.
+	y := []int{1, 0, 1, 0}
+	s := []float64{0.4, 0.3, 0.8, 0.6}
+	if got := AUC(y, s); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("AUC = %v, want 0.75", got)
+	}
+}
+
+func TestAUCDegenerate(t *testing.T) {
+	if !math.IsNaN(AUC([]int{1, 1}, []float64{0.1, 0.2})) {
+		t.Fatal("single-class AUC should be NaN")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	AUC([]int{1}, []float64{0.1, 0.2})
+}
+
+func TestConfusionString(t *testing.T) {
+	if (Confusion{TP: 1}).String() == "" {
+		t.Fatal("empty String")
+	}
+}

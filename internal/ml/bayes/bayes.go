@@ -1,0 +1,197 @@
+// Package bayes implements naive Bayes classification. It is the baseline
+// family of the Sylhet dataset's source paper (Islam et al. 2020 compared
+// Naive Bayes, logistic regression, decision trees and random forests),
+// so a faithful reproduction keeps it in the model zoo's orbit.
+//
+// Two variants share one interface:
+//
+//   - Gaussian: continuous features modelled as per-class normals
+//     (sklearn GaussianNB).
+//   - Bernoulli: binary features modelled as per-class coin flips with
+//     Laplace smoothing (sklearn BernoulliNB); non-binary inputs are
+//     thresholded at 0.5, which also makes it a natural hypervector
+//     consumer.
+package bayes
+
+import (
+	"math"
+
+	"hdfe/internal/ml"
+)
+
+// Kind selects the event model.
+type Kind int
+
+const (
+	// Gaussian models features as class-conditional normals.
+	Gaussian Kind = iota
+	// Bernoulli models features as class-conditional binary events.
+	Bernoulli
+)
+
+// Classifier is a fitted naive Bayes model.
+type Classifier struct {
+	kind  Kind
+	width int
+
+	prior [2]float64 // log prior per class
+
+	// Gaussian parameters.
+	mean, variance [2][]float64
+
+	// Bernoulli parameters: log p and log(1-p) per class/feature.
+	logP, logQ [2][]float64
+}
+
+var _ ml.Classifier = (*Classifier)(nil)
+var _ ml.Scorer = (*Classifier)(nil)
+
+// New returns an untrained naive Bayes classifier of the given kind.
+func New(kind Kind) *Classifier { return &Classifier{kind: kind} }
+
+// varianceFloor keeps degenerate (constant) Gaussian features from
+// producing infinite densities; sklearn uses var_smoothing=1e-9 times the
+// largest feature variance, we use an absolute floor adequate for both raw
+// clinical scales and 0/1 inputs.
+const varianceFloor = 1e-9
+
+// Fit estimates per-class parameters.
+func (c *Classifier) Fit(X [][]float64, y []int) error {
+	if err := ml.ValidateFit(X, y); err != nil {
+		return err
+	}
+	n := len(X)
+	d := len(X[0])
+	c.width = d
+
+	var count [2]int
+	for _, label := range y {
+		count[label]++
+	}
+	for k := 0; k < 2; k++ {
+		// Laplace-smoothed prior so single-class training stays finite.
+		c.prior[k] = math.Log((float64(count[k]) + 1) / (float64(n) + 2))
+	}
+
+	switch c.kind {
+	case Gaussian:
+		for k := 0; k < 2; k++ {
+			c.mean[k] = make([]float64, d)
+			c.variance[k] = make([]float64, d)
+		}
+		for i, row := range X {
+			k := y[i]
+			for j, v := range row {
+				c.mean[k][j] += v
+			}
+		}
+		for k := 0; k < 2; k++ {
+			if count[k] == 0 {
+				continue
+			}
+			for j := range c.mean[k] {
+				c.mean[k][j] /= float64(count[k])
+			}
+		}
+		for i, row := range X {
+			k := y[i]
+			for j, v := range row {
+				diff := v - c.mean[k][j]
+				c.variance[k][j] += diff * diff
+			}
+		}
+		for k := 0; k < 2; k++ {
+			for j := range c.variance[k] {
+				if count[k] > 0 {
+					c.variance[k][j] /= float64(count[k])
+				}
+				if c.variance[k][j] < varianceFloor {
+					c.variance[k][j] = varianceFloor
+				}
+			}
+		}
+	case Bernoulli:
+		for k := 0; k < 2; k++ {
+			c.logP[k] = make([]float64, d)
+			c.logQ[k] = make([]float64, d)
+		}
+		var ones [2][]float64
+		ones[0] = make([]float64, d)
+		ones[1] = make([]float64, d)
+		for i, row := range X {
+			k := y[i]
+			for j, v := range row {
+				if v >= 0.5 {
+					ones[k][j]++
+				}
+			}
+		}
+		for k := 0; k < 2; k++ {
+			for j := 0; j < d; j++ {
+				// Laplace (add-one) smoothing.
+				p := (ones[k][j] + 1) / (float64(count[k]) + 2)
+				c.logP[k][j] = math.Log(p)
+				c.logQ[k][j] = math.Log(1 - p)
+			}
+		}
+	}
+	return nil
+}
+
+// logLikelihood returns the class log joint for one row.
+func (c *Classifier) logLikelihood(row []float64, k int) float64 {
+	ll := c.prior[k]
+	switch c.kind {
+	case Gaussian:
+		for j, v := range row {
+			m, s2 := c.mean[k][j], c.variance[k][j]
+			diff := v - m
+			ll += -0.5*math.Log(2*math.Pi*s2) - diff*diff/(2*s2)
+		}
+	case Bernoulli:
+		for j, v := range row {
+			if v >= 0.5 {
+				ll += c.logP[k][j]
+			} else {
+				ll += c.logQ[k][j]
+			}
+		}
+	}
+	return ll
+}
+
+// Predict labels each row by the larger class posterior (ties to 1).
+func (c *Classifier) Predict(X [][]float64) []int {
+	scores := c.Scores(X)
+	out := make([]int, len(scores))
+	for i, s := range scores {
+		if s >= 0.5 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Scores returns the positive-class posterior probability per row.
+func (c *Classifier) Scores(X [][]float64) []float64 {
+	if c.width == 0 {
+		panic("bayes: predict before fit")
+	}
+	ml.CheckPredict(X, c.width)
+	out := make([]float64, len(X))
+	for i, row := range X {
+		l0 := c.logLikelihood(row, 0)
+		l1 := c.logLikelihood(row, 1)
+		// Posterior via the log-sum-exp-stable two-class shortcut.
+		out[i] = ml.Sigmoid(l1 - l0)
+	}
+	return out
+}
+
+// String identifies the model in experiment tables.
+func (c *Classifier) String() string {
+	if c.kind == Bernoulli {
+		return "NaiveBayes(bernoulli)"
+	}
+	return "NaiveBayes(gaussian)"
+}

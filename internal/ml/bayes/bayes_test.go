@@ -1,0 +1,160 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+
+	"hdfe/internal/metrics"
+	"hdfe/internal/rng"
+)
+
+func gaussBlobs(seed uint64, n int, gap float64) ([][]float64, []int) {
+	r := rng.New(seed)
+	var X [][]float64
+	var y []int
+	for i := 0; i < n; i++ {
+		label := i % 2
+		s := float64(label) * gap
+		X = append(X, []float64{s + r.NormFloat64(), s + r.NormFloat64()})
+		y = append(y, label)
+	}
+	return X, y
+}
+
+func TestGaussianSeparates(t *testing.T) {
+	X, y := gaussBlobs(1, 400, 4)
+	c := New(Gaussian)
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := metrics.Accuracy(y, c.Predict(X)); acc < 0.97 {
+		t.Fatalf("gaussian NB accuracy %v", acc)
+	}
+}
+
+func TestGaussianKnownPosterior(t *testing.T) {
+	// Symmetric 1D problem: at the midpoint the posterior must be 0.5,
+	// and tilt toward the nearer class mean elsewhere.
+	X := [][]float64{{-2}, {-1.8}, {-2.2}, {2}, {1.8}, {2.2}}
+	y := []int{0, 0, 0, 1, 1, 1}
+	c := New(Gaussian)
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Scores([][]float64{{0}, {-2}, {2}})
+	if math.Abs(s[0]-0.5) > 1e-6 {
+		t.Fatalf("midpoint posterior %v", s[0])
+	}
+	if s[1] >= 0.5 || s[2] <= 0.5 {
+		t.Fatalf("posteriors %v not oriented", s)
+	}
+}
+
+func TestGaussianHandlesConstantFeature(t *testing.T) {
+	X := [][]float64{{5, 0}, {5, 1}, {5, 2}, {5, 10}}
+	y := []int{0, 0, 1, 1}
+	c := New(Gaussian)
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range c.Scores(X) {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Fatalf("constant feature produced %v", s)
+		}
+	}
+}
+
+func TestBernoulliSeparatesSymptoms(t *testing.T) {
+	r := rng.New(2)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 400; i++ {
+		label := i % 2
+		row := make([]float64, 6)
+		for j := range row {
+			p := 0.2
+			if label == 1 && j < 3 {
+				p = 0.8 // first three symptoms mark the positive class
+			}
+			if r.Bernoulli(p) {
+				row[j] = 1
+			}
+		}
+		X = append(X, row)
+		y = append(y, label)
+	}
+	c := New(Bernoulli)
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := metrics.Accuracy(y, c.Predict(X)); acc < 0.85 {
+		t.Fatalf("bernoulli NB accuracy %v", acc)
+	}
+}
+
+func TestBernoulliLaplaceSmoothing(t *testing.T) {
+	// A feature never seen as 1 in class 0: without smoothing a test row
+	// with that feature set would get -Inf likelihood and NaN posterior.
+	X := [][]float64{{0}, {0}, {1}, {1}}
+	y := []int{0, 0, 1, 1}
+	c := New(Bernoulli)
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Scores([][]float64{{1}})
+	if math.IsNaN(s[0]) || s[0] <= 0.5 {
+		t.Fatalf("smoothed posterior %v", s[0])
+	}
+	if s[0] >= 1 {
+		t.Fatalf("posterior saturated at %v despite smoothing", s[0])
+	}
+}
+
+func TestBernoulliThresholdsContinuous(t *testing.T) {
+	// Values >= 0.5 count as 1: model fitted on 0/1 must score 0.9 like 1.
+	X := [][]float64{{0}, {0}, {1}, {1}}
+	y := []int{0, 0, 1, 1}
+	c := New(Bernoulli)
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Scores([][]float64{{0.9}, {0.1}})
+	if s[0] <= 0.5 || s[1] >= 0.5 {
+		t.Fatalf("thresholding wrong: %v", s)
+	}
+}
+
+func TestSingleClassPrior(t *testing.T) {
+	X := [][]float64{{1}, {2}}
+	y := []int{1, 1}
+	for _, kind := range []Kind{Gaussian, Bernoulli} {
+		c := New(kind)
+		if err := c.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Predict([][]float64{{1.5}})[0]; got != 1 {
+			t.Fatalf("kind %v: single-class model predicted %d", kind, got)
+		}
+	}
+}
+
+func TestPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(Gaussian).Predict([][]float64{{1}})
+}
+
+func TestFitError(t *testing.T) {
+	if err := New(Gaussian).Fit(nil, nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+}
+
+func TestString(t *testing.T) {
+	if New(Gaussian).String() == New(Bernoulli).String() {
+		t.Fatal("kinds share a String")
+	}
+}

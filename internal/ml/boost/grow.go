@@ -1,0 +1,340 @@
+package boost
+
+import (
+	"math"
+
+	"hdfe/internal/ml/tree"
+	"hdfe/internal/parallel"
+)
+
+// splitInfo describes the best split found for a set of rows.
+type splitInfo struct {
+	feature int
+	bin     int
+	gain    float64
+	ok      bool
+}
+
+// gainOf is the second-order (XGBoost) split gain for a left/right
+// gradient-hessian partition, before subtracting Gamma.
+func (c *Classifier) gainOf(gl, hl, gr, hr float64) float64 {
+	lam := c.params.Lambda
+	parentG, parentH := gl+gr, hl+hr
+	return 0.5 * (gl*gl/(hl+lam) + gr*gr/(hr+lam) - parentG*parentG/(parentH+lam))
+}
+
+// leafValue is the shrunken optimal leaf weight for a gradient/hessian sum.
+func (c *Classifier) leafValue(g, h float64) float64 {
+	if h+c.params.Lambda == 0 {
+		return 0
+	}
+	return -c.params.LearningRate * g / (h + c.params.Lambda)
+}
+
+// bestSplit scans every feature's histogram over rows and returns the
+// best valid split. Features are scanned in parallel; the final argmax is
+// a serial pass with deterministic tie-breaking (lowest feature, lowest
+// bin).
+func (c *Classifier) bestSplit(b *tree.Binned, rows []int, g, h []float64) splitInfo {
+	d := b.Width()
+	perFeature := make([]splitInfo, d)
+	parallel.ForChunked(d, func(lo, hi int) {
+		var gh [tree.MaxBins][2]float64
+		for j := lo; j < hi; j++ {
+			nb := b.BinCount(j)
+			if nb < 2 {
+				continue
+			}
+			for bi := 0; bi < nb; bi++ {
+				gh[bi][0], gh[bi][1] = 0, 0
+			}
+			col := b.Col(j)
+			var totG, totH float64
+			for _, i := range rows {
+				bi := col[i]
+				gh[bi][0] += g[i]
+				gh[bi][1] += h[i]
+				totG += g[i]
+				totH += h[i]
+			}
+			best := splitInfo{feature: j}
+			var gl, hl float64
+			for bi := 0; bi < nb-1; bi++ {
+				gl += gh[bi][0]
+				hl += gh[bi][1]
+				gr, hr := totG-gl, totH-hl
+				if hl < c.params.MinChildWeight || hr < c.params.MinChildWeight {
+					continue
+				}
+				gain := c.gainOf(gl, hl, gr, hr) - c.params.Gamma
+				if gain > best.gain+1e-12 {
+					best.gain = gain
+					best.bin = bi
+					best.ok = true
+				}
+			}
+			if best.ok && best.gain > 0 {
+				perFeature[j] = best
+			}
+		}
+	})
+	var out splitInfo
+	for j := range perFeature {
+		s := perFeature[j]
+		if s.ok && (!out.ok || s.gain > out.gain+1e-12) {
+			out = s
+		}
+	}
+	return out
+}
+
+// partition reorders rows in place so rows with bin <= bin on feature come
+// first, returning the boundary.
+func partition(b *tree.Binned, rows []int, feature, bin int) int {
+	col := b.Col(feature)
+	lo, hi := 0, len(rows)
+	for lo < hi {
+		if int(col[rows[lo]]) <= bin {
+			lo++
+		} else {
+			hi--
+			rows[lo], rows[hi] = rows[hi], rows[lo]
+		}
+	}
+	return lo
+}
+
+func sumGH(rows []int, g, h []float64) (sg, sh float64) {
+	for _, i := range rows {
+		sg += g[i]
+		sh += h[i]
+	}
+	return sg, sh
+}
+
+// growLevelWise grows one tree breadth-first to MaxDepth (XGBoost style).
+func (c *Classifier) growLevelWise(b *tree.Binned, rows []int, g, h []float64) gbTree {
+	t := gbTree{}
+	type item struct {
+		rows  []int
+		depth int
+		node  int
+	}
+	sg, sh := sumGH(rows, g, h)
+	t.nodes = append(t.nodes, gbNode{feature: -1, value: c.leafValue(sg, sh)})
+	queue := []item{{rows: rows, depth: 0, node: 0}}
+	for len(queue) > 0 {
+		level := queue
+		queue = nil
+		splits := make([]splitInfo, len(level))
+		for k, it := range level {
+			if it.depth >= c.params.MaxDepth {
+				continue
+			}
+			splits[k] = c.bestSplit(b, it.rows, g, h)
+		}
+		for k, it := range level {
+			s := splits[k]
+			if !s.ok {
+				continue
+			}
+			cut := partition(b, it.rows, s.feature, s.bin)
+			left, right := it.rows[:cut], it.rows[cut:]
+			lg, lh := sumGH(left, g, h)
+			rg, rh := sumGH(right, g, h)
+			li := len(t.nodes)
+			t.nodes = append(t.nodes,
+				gbNode{feature: -1, value: c.leafValue(lg, lh)},
+				gbNode{feature: -1, value: c.leafValue(rg, rh)})
+			nd := &t.nodes[it.node]
+			nd.feature = s.feature
+			nd.threshold = b.Threshold(s.feature, s.bin)
+			nd.left = li
+			nd.right = li + 1
+			queue = append(queue,
+				item{rows: left, depth: it.depth + 1, node: li},
+				item{rows: right, depth: it.depth + 1, node: li + 1})
+		}
+	}
+	return t
+}
+
+// growLeafWise grows one tree best-first up to MaxLeaves (LightGBM style).
+func (c *Classifier) growLeafWise(b *tree.Binned, rows []int, g, h []float64) gbTree {
+	t := gbTree{}
+	type leaf struct {
+		rows  []int
+		node  int
+		split splitInfo
+	}
+	sg, sh := sumGH(rows, g, h)
+	t.nodes = append(t.nodes, gbNode{feature: -1, value: c.leafValue(sg, sh)})
+	leaves := []leaf{{rows: rows, node: 0, split: c.bestSplit(b, rows, g, h)}}
+	for len(leaves) < c.params.MaxLeaves {
+		// Pick the leaf with the highest-gain pending split.
+		best := -1
+		for i, lf := range leaves {
+			if !lf.split.ok {
+				continue
+			}
+			if best == -1 || lf.split.gain > leaves[best].split.gain+1e-12 {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		lf := leaves[best]
+		s := lf.split
+		cut := partition(b, lf.rows, s.feature, s.bin)
+		left, right := lf.rows[:cut], lf.rows[cut:]
+		lg, lh := sumGH(left, g, h)
+		rg, rh := sumGH(right, g, h)
+		li := len(t.nodes)
+		t.nodes = append(t.nodes,
+			gbNode{feature: -1, value: c.leafValue(lg, lh)},
+			gbNode{feature: -1, value: c.leafValue(rg, rh)})
+		nd := &t.nodes[lf.node]
+		nd.feature = s.feature
+		nd.threshold = b.Threshold(s.feature, s.bin)
+		nd.left = li
+		nd.right = li + 1
+		// Replace the split leaf with its two children (splits computed
+		// concurrently).
+		children := [2]leaf{
+			{rows: left, node: li},
+			{rows: right, node: li + 1},
+		}
+		parallel.For(2, func(k int) {
+			children[k].split = c.bestSplit(b, children[k].rows, g, h)
+		})
+		leaves[best] = children[0]
+		leaves = append(leaves, children[1])
+	}
+	return t
+}
+
+// growOblivious grows one symmetric tree: all leaves at a level share the
+// same (feature, threshold) split, chosen to maximize the summed gain over
+// leaves (CatBoost's tree shape).
+func (c *Classifier) growOblivious(b *tree.Binned, rows []int, g, h []float64) gbTree {
+	d := b.Width()
+	partitions := [][]int{rows}
+	type levelSplit struct {
+		feature int
+		bin     int
+	}
+	var splits []levelSplit
+	for depth := 0; depth < c.params.MaxDepth; depth++ {
+		// For each feature, accumulate the summed max-zero gain per cut
+		// bin across all partitions.
+		type featBest struct {
+			gain float64
+			bin  int
+			ok   bool
+		}
+		perFeature := make([]featBest, d)
+		parallel.ForChunked(d, func(lo, hi int) {
+			var gh [tree.MaxBins][2]float64
+			gains := make([]float64, tree.MaxBins)
+			for j := lo; j < hi; j++ {
+				nb := b.BinCount(j)
+				if nb < 2 {
+					continue
+				}
+				for bi := 0; bi < nb-1; bi++ {
+					gains[bi] = 0
+				}
+				col := b.Col(j)
+				any := false
+				for _, part := range partitions {
+					if len(part) == 0 {
+						continue
+					}
+					for bi := 0; bi < nb; bi++ {
+						gh[bi][0], gh[bi][1] = 0, 0
+					}
+					var totG, totH float64
+					for _, i := range part {
+						bi := col[i]
+						gh[bi][0] += g[i]
+						gh[bi][1] += h[i]
+						totG += g[i]
+						totH += h[i]
+					}
+					var gl, hl float64
+					for bi := 0; bi < nb-1; bi++ {
+						gl += gh[bi][0]
+						hl += gh[bi][1]
+						gr, hr := totG-gl, totH-hl
+						if hl < c.params.MinChildWeight || hr < c.params.MinChildWeight {
+							continue
+						}
+						if gain := c.gainOf(gl, hl, gr, hr) - c.params.Gamma; gain > 0 {
+							gains[bi] += gain
+							any = true
+						}
+					}
+				}
+				if !any {
+					continue
+				}
+				best := featBest{gain: math.Inf(-1)}
+				for bi := 0; bi < nb-1; bi++ {
+					if gains[bi] > best.gain+1e-12 {
+						best = featBest{gain: gains[bi], bin: bi, ok: true}
+					}
+				}
+				if best.ok && best.gain > 0 {
+					perFeature[j] = best
+				}
+			}
+		})
+		bestJ, best := -1, featBest{}
+		for j, fb := range perFeature {
+			if fb.ok && (bestJ == -1 || fb.gain > best.gain+1e-12) {
+				bestJ, best = j, fb
+			}
+		}
+		if bestJ == -1 {
+			break
+		}
+		splits = append(splits, levelSplit{feature: bestJ, bin: best.bin})
+		next := make([][]int, 0, 2*len(partitions))
+		for _, part := range partitions {
+			cut := partition(b, part, bestJ, best.bin)
+			next = append(next, part[:cut], part[cut:])
+		}
+		partitions = next
+	}
+
+	// Assemble the symmetric tree: internal levels share splits; the final
+	// partitions become leaves in left-to-right order.
+	t := gbTree{}
+	if len(splits) == 0 {
+		sg, sh := sumGH(rows, g, h)
+		t.nodes = []gbNode{{feature: -1, value: c.leafValue(sg, sh)}}
+		return t
+	}
+	var build func(level, partIdx int) int
+	build = func(level, partIdx int) int {
+		idx := len(t.nodes)
+		if level == len(splits) {
+			sg, sh := sumGH(partitions[partIdx], g, h)
+			t.nodes = append(t.nodes, gbNode{feature: -1, value: c.leafValue(sg, sh)})
+			return idx
+		}
+		s := splits[level]
+		t.nodes = append(t.nodes, gbNode{
+			feature:   s.feature,
+			threshold: b.Threshold(s.feature, s.bin),
+		})
+		left := build(level+1, partIdx*2)
+		right := build(level+1, partIdx*2+1)
+		t.nodes[idx].left = left
+		t.nodes[idx].right = right
+		return idx
+	}
+	build(0, 0)
+	return t
+}

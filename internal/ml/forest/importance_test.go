@@ -1,0 +1,54 @@
+package forest
+
+import (
+	"math"
+	"testing"
+
+	"hdfe/internal/rng"
+)
+
+func TestForestFeatureImportances(t *testing.T) {
+	// Features 0 and 1 carry the class (redundantly); 2..5 are noise.
+	r := rng.New(1)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 300; i++ {
+		label := i % 2
+		X = append(X, []float64{
+			float64(label)*2 + r.NormFloat64()*0.3,
+			float64(label)*2 + r.NormFloat64()*0.3,
+			r.NormFloat64(), r.NormFloat64(), r.NormFloat64(), r.NormFloat64(),
+		})
+		y = append(y, label)
+	}
+	f := New(Params{NumTrees: 50, Seed: 2})
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := f.FeatureImportances()
+	var sum float64
+	for _, v := range imp {
+		sum += v
+	}
+	if math.Abs(sum-1) > 0.01 {
+		t.Fatalf("importances sum to %v", sum)
+	}
+	signal := imp[0] + imp[1]
+	if signal < 0.7 {
+		t.Fatalf("signal features carry only %v of importance", signal)
+	}
+	for j := 2; j < 6; j++ {
+		if imp[j] > imp[0] || imp[j] > imp[1] {
+			t.Fatalf("noise feature %d outranks signal", j)
+		}
+	}
+}
+
+func TestForestImportancesPanicBeforeFit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(Params{}).FeatureImportances()
+}

@@ -1,0 +1,216 @@
+// Package hamming implements the paper's pure-HDC classifier (§II.C): a
+// record hypervector is labeled with the class of its nearest neighbour
+// under Hamming distance, and the model is validated with leave-one-out
+// cross-validation computed from the full pairwise distance matrix.
+package hamming
+
+import (
+	"fmt"
+
+	"hdfe/internal/hv"
+	"hdfe/internal/metrics"
+	"hdfe/internal/ml"
+	"hdfe/internal/parallel"
+)
+
+// Model is a fitted nearest-neighbour Hamming classifier. In HDC terms
+// there is no training beyond storing the encoded records: "once the
+// hypervectors are constructed there's no model that needs to be built, we
+// only need to measure distances."
+type Model struct {
+	pool   []hv.Vector
+	labels []int
+	k      int
+}
+
+// Fit stores the labelled hypervectors. k is the number of neighbours to
+// vote (the paper uses 1). It panics on empty input, mismatched lengths,
+// non-binary labels or k < 1.
+func Fit(vs []hv.Vector, y []int, k int) *Model {
+	if len(vs) == 0 {
+		panic("hamming: fit with no vectors")
+	}
+	if len(vs) != len(y) {
+		panic(fmt.Sprintf("hamming: %d vectors but %d labels", len(vs), len(y)))
+	}
+	if k < 1 || k > len(vs) {
+		panic(fmt.Sprintf("hamming: k=%d out of range [1,%d]", k, len(vs)))
+	}
+	for i, label := range y {
+		if label != 0 && label != 1 {
+			panic(fmt.Sprintf("hamming: non-binary label %d at %d", label, i))
+		}
+	}
+	return &Model{
+		pool:   append([]hv.Vector(nil), vs...),
+		labels: append([]int(nil), y...),
+		k:      k,
+	}
+}
+
+// Predict returns the majority label among the k nearest stored vectors
+// (ties to 1; for k = 1 this is exactly the nearest neighbour's class).
+func (m *Model) Predict(v hv.Vector) int {
+	if m.k == 1 {
+		idx, _ := hv.Nearest(v, m.pool, -1)
+		return m.labels[idx]
+	}
+	idxs := hv.NearestK(v, m.pool, -1, m.k)
+	pos := 0
+	for _, i := range idxs {
+		pos += m.labels[i]
+	}
+	if 2*pos >= len(idxs) {
+		return 1
+	}
+	return 0
+}
+
+// PredictAll labels each query vector in parallel.
+func (m *Model) PredictAll(vs []hv.Vector) []int {
+	out := make([]int, len(vs))
+	parallel.For(len(vs), func(i int) {
+		out[i] = m.Predict(vs[i])
+	})
+	return out
+}
+
+// Score returns a continuous positive-class score for v: the fraction of
+// positive labels among the k nearest neighbours, with the k=1 case
+// refined by relative distance to the nearest positive and negative
+// exemplars so AUC is meaningful.
+func (m *Model) Score(v hv.Vector) float64 {
+	if m.k > 1 {
+		idxs := hv.NearestK(v, m.pool, -1, m.k)
+		pos := 0
+		for _, i := range idxs {
+			pos += m.labels[i]
+		}
+		return float64(pos) / float64(len(idxs))
+	}
+	ds := hv.Distances(v, m.pool, nil)
+	bestPos, bestNeg := -1, -1
+	for i, d := range ds {
+		if m.labels[i] == 1 {
+			if bestPos == -1 || d < bestPos {
+				bestPos = d
+			}
+		} else {
+			if bestNeg == -1 || d < bestNeg {
+				bestNeg = d
+			}
+		}
+	}
+	switch {
+	case bestPos == -1:
+		return 0
+	case bestNeg == -1:
+		return 1
+	case bestPos+bestNeg == 0:
+		return 0.5
+	default:
+		// Closer positive exemplar -> higher score, in (0, 1).
+		return float64(bestNeg) / float64(bestPos+bestNeg)
+	}
+}
+
+// LeaveOneOut runs the paper's validation (§II.C): each record is labelled
+// by its nearest neighbour among all the others, and the predictions are
+// tallied into a confusion matrix. The pairwise distance matrix is computed
+// once, in parallel.
+func LeaveOneOut(vs []hv.Vector, y []int) metrics.Confusion {
+	if len(vs) != len(y) {
+		panic(fmt.Sprintf("hamming: %d vectors but %d labels", len(vs), len(y)))
+	}
+	if len(vs) < 2 {
+		panic("hamming: leave-one-out needs at least two records")
+	}
+	dm := hv.HammingMatrix(vs)
+	pred := make([]int, len(vs))
+	parallel.For(len(vs), func(i int) {
+		best, bestDist := -1, 0
+		for j, d := range dm[i] {
+			if j == i {
+				continue
+			}
+			if best == -1 || d < bestDist {
+				best, bestDist = j, d
+			}
+		}
+		pred[i] = y[best]
+	})
+	return metrics.NewConfusion(y, pred)
+}
+
+// FloatAdapter exposes the Hamming classifier through the generic
+// ml.Classifier interface over 0/1 float rows (the hybrid pipelines' data
+// format): rows are re-binarized at 0.5 and packed into hypervectors.
+type FloatAdapter struct {
+	k     int
+	model *Model
+	width int
+}
+
+var _ ml.Classifier = (*FloatAdapter)(nil)
+var _ ml.Scorer = (*FloatAdapter)(nil)
+
+// NewFloatAdapter returns an adapter voting k neighbours.
+func NewFloatAdapter(k int) *FloatAdapter {
+	if k < 1 {
+		panic(fmt.Sprintf("hamming: k=%d", k))
+	}
+	return &FloatAdapter{k: k}
+}
+
+func packRow(row []float64) hv.Vector {
+	v := hv.New(len(row))
+	for j, x := range row {
+		if x >= 0.5 {
+			v.SetBit(j, true)
+		}
+	}
+	return v
+}
+
+// Fit packs the rows into hypervectors and stores them.
+func (a *FloatAdapter) Fit(X [][]float64, y []int) error {
+	if err := ml.ValidateFit(X, y); err != nil {
+		return err
+	}
+	if a.k > len(X) {
+		return fmt.Errorf("hamming: k=%d exceeds %d rows", a.k, len(X))
+	}
+	vs := make([]hv.Vector, len(X))
+	for i, row := range X {
+		vs[i] = packRow(row)
+	}
+	a.model = Fit(vs, y, a.k)
+	a.width = len(X[0])
+	return nil
+}
+
+// Predict labels each row by its nearest stored hypervector.
+func (a *FloatAdapter) Predict(X [][]float64) []int {
+	if a.model == nil {
+		panic("hamming: predict before fit")
+	}
+	ml.CheckPredict(X, a.width)
+	vs := make([]hv.Vector, len(X))
+	for i, row := range X {
+		vs[i] = packRow(row)
+	}
+	return a.model.PredictAll(vs)
+}
+
+// Scores returns continuous positive-class scores per row.
+func (a *FloatAdapter) Scores(X [][]float64) []float64 {
+	if a.model == nil {
+		panic("hamming: scores before fit")
+	}
+	ml.CheckPredict(X, a.width)
+	out := make([]float64, len(X))
+	parallel.For(len(X), func(i int) {
+		out[i] = a.model.Score(packRow(X[i]))
+	})
+	return out
+}

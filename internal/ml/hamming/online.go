@@ -1,0 +1,114 @@
+package hamming
+
+import (
+	"fmt"
+
+	"hdfe/internal/hv"
+)
+
+// OnlinePrototype is an incrementally updatable class-prototype
+// classifier. Because majority bundling decomposes over per-bit counts,
+// examples can be added and removed in O(D) without refitting — the
+// "self-improving and self-sustainable by feeding from the data they
+// process" deployment mode the paper's related-work section highlights,
+// and the efficient substrate for leave-one-out evaluation of prototype
+// models.
+type OnlinePrototype struct {
+	accs [2]*hv.Accumulator
+	tie  hv.TieBreak
+	dim  int
+
+	// cached prototypes, invalidated by updates.
+	protos [2]hv.Vector
+	dirty  [2]bool
+}
+
+// NewOnlinePrototype returns an empty model for dimensionality dim.
+func NewOnlinePrototype(dim int, tie hv.TieBreak) *OnlinePrototype {
+	if dim <= 0 {
+		panic(fmt.Sprintf("hamming: invalid dimensionality %d", dim))
+	}
+	return &OnlinePrototype{
+		accs: [2]*hv.Accumulator{hv.NewAccumulator(dim), hv.NewAccumulator(dim)},
+		tie:  tie,
+		dim:  dim,
+	}
+}
+
+// Add incorporates one labelled example.
+func (o *OnlinePrototype) Add(v hv.Vector, label int) {
+	o.checkLabel(label)
+	o.accs[label].Add(v)
+	o.dirty[label] = true
+}
+
+// Remove subtracts a previously added example. Removing an example that
+// was never added corrupts the counts; callers own that invariant (the
+// accumulator will panic if counts go negative in aggregate).
+func (o *OnlinePrototype) Remove(v hv.Vector, label int) {
+	o.checkLabel(label)
+	o.accs[label].Remove(v)
+	o.dirty[label] = true
+}
+
+// Count returns the number of stored examples of the class.
+func (o *OnlinePrototype) Count(label int) int {
+	o.checkLabel(label)
+	return o.accs[label].Count()
+}
+
+func (o *OnlinePrototype) checkLabel(label int) {
+	if label != 0 && label != 1 {
+		panic(fmt.Sprintf("hamming: non-binary label %d", label))
+	}
+}
+
+func (o *OnlinePrototype) proto(label int) (hv.Vector, bool) {
+	if o.accs[label].Count() == 0 {
+		return hv.Vector{}, false
+	}
+	if o.dirty[label] || o.protos[label].Dim() == 0 {
+		o.protos[label] = o.accs[label].Majority(o.tie)
+		o.dirty[label] = false
+	}
+	return o.protos[label], true
+}
+
+// Predict labels v by its nearest current class prototype; with only one
+// class present it returns that class. It panics if the model is empty.
+func (o *OnlinePrototype) Predict(v hv.Vector) int {
+	p0, ok0 := o.proto(0)
+	p1, ok1 := o.proto(1)
+	switch {
+	case !ok0 && !ok1:
+		panic("hamming: predict on empty online prototype")
+	case !ok0:
+		return 1
+	case !ok1:
+		return 0
+	}
+	if hv.Hamming(v, p1) <= hv.Hamming(v, p0) {
+		return 1
+	}
+	return 0
+}
+
+// Score returns the relative closeness to the positive prototype in [0,1].
+func (o *OnlinePrototype) Score(v hv.Vector) float64 {
+	p0, ok0 := o.proto(0)
+	p1, ok1 := o.proto(1)
+	switch {
+	case !ok0 && !ok1:
+		panic("hamming: score on empty online prototype")
+	case !ok0:
+		return 1
+	case !ok1:
+		return 0
+	}
+	d0 := float64(hv.Hamming(v, p0))
+	d1 := float64(hv.Hamming(v, p1))
+	if d0+d1 == 0 {
+		return 0.5
+	}
+	return d0 / (d0 + d1)
+}

@@ -1,0 +1,136 @@
+package hamming
+
+import (
+	"testing"
+
+	"hdfe/internal/hv"
+	"hdfe/internal/metrics"
+)
+
+func TestOnlinePrototypeMatchesBatch(t *testing.T) {
+	vs, y := clusteredVectors(1, 15, 800, 60)
+	online := NewOnlinePrototype(800, hv.TieToOne)
+	for i, v := range vs {
+		online.Add(v, y[i])
+	}
+	batch := FitPrototype(vs, y, hv.TieToOne)
+	for _, v := range vs {
+		if online.Predict(v) != batch.Predict(v) {
+			t.Fatal("online and batch prototypes disagree")
+		}
+	}
+	if online.Count(0)+online.Count(1) != len(vs) {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestOnlineRemoveUndoesAdd(t *testing.T) {
+	vs, y := clusteredVectors(2, 10, 400, 30)
+	online := NewOnlinePrototype(400, hv.TieToOne)
+	for i, v := range vs {
+		online.Add(v, y[i])
+	}
+	// Add then remove an extra example: predictions must be unchanged.
+	before := make([]int, len(vs))
+	for i, v := range vs {
+		before[i] = online.Predict(v)
+	}
+	extra := vs[0].Clone()
+	online.Add(extra, 1)
+	online.Remove(extra, 1)
+	for i, v := range vs {
+		if online.Predict(v) != before[i] {
+			t.Fatal("add+remove was not a no-op")
+		}
+	}
+}
+
+func TestOnlineLeaveOneOutViaRemove(t *testing.T) {
+	// Efficient prototype LOO: remove the test example, predict, re-add.
+	// Must equal naive refit-per-fold LOO.
+	vs, y := clusteredVectors(3, 12, 600, 80)
+	online := NewOnlinePrototype(600, hv.TieToOne)
+	for i, v := range vs {
+		online.Add(v, y[i])
+	}
+	var fastPred []int
+	for i, v := range vs {
+		online.Remove(v, y[i])
+		fastPred = append(fastPred, online.Predict(v))
+		online.Add(v, y[i])
+	}
+	var naivePred []int
+	for i := range vs {
+		var trainV []hv.Vector
+		var trainY []int
+		for j := range vs {
+			if j != i {
+				trainV = append(trainV, vs[j])
+				trainY = append(trainY, y[j])
+			}
+		}
+		p := FitPrototype(trainV, trainY, hv.TieToOne)
+		naivePred = append(naivePred, p.Predict(vs[i]))
+	}
+	if metrics.Accuracy(naivePred, fastPred) != 1 {
+		t.Fatal("incremental LOO disagrees with naive LOO")
+	}
+}
+
+func TestOnlineSingleClassAndEmpty(t *testing.T) {
+	o := NewOnlinePrototype(100, hv.TieToOne)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty predict did not panic")
+			}
+		}()
+		o.Predict(hv.New(100))
+	}()
+	o.Add(hv.New(100), 1)
+	if o.Predict(hv.New(100)) != 1 {
+		t.Fatal("single-class prediction wrong")
+	}
+	if o.Score(hv.New(100)) != 1 {
+		t.Fatal("single-class score wrong")
+	}
+}
+
+func TestOnlineScoreDirection(t *testing.T) {
+	vs, y := clusteredVectors(4, 15, 900, 60)
+	o := NewOnlinePrototype(900, hv.TieToOne)
+	for i, v := range vs {
+		o.Add(v, y[i])
+	}
+	for i, v := range vs {
+		s := o.Score(v)
+		if y[i] == 1 && s <= 0.5 || y[i] == 0 && s >= 0.5 {
+			t.Fatalf("row %d label %d scored %v", i, y[i], s)
+		}
+	}
+}
+
+func TestOnlinePanics(t *testing.T) {
+	cases := []func(){
+		func() { NewOnlinePrototype(0, hv.TieToOne) },
+		func() { NewOnlinePrototype(8, hv.TieToOne).Add(hv.New(8), 2) },
+		func() { NewOnlinePrototype(8, hv.TieToOne).Remove(hv.New(8), 0) },
+		func() {
+			o := NewOnlinePrototype(8, hv.TieToOne)
+			v := hv.New(8)
+			v.SetBit(3, true)
+			o.Add(hv.New(8), 0)
+			o.Remove(v, 0) // removing bits never added
+		},
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,124 @@
+package knn
+
+import (
+	"testing"
+
+	"hdfe/internal/rng"
+)
+
+func TestOneNNMemorizes(t *testing.T) {
+	X := [][]float64{{0, 0}, {1, 1}, {5, 5}, {6, 6}}
+	y := []int{0, 0, 1, 1}
+	c := New(1)
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	pred := c.Predict(X)
+	for i := range y {
+		if pred[i] != y[i] {
+			t.Fatalf("1-NN failed to memorize row %d", i)
+		}
+	}
+}
+
+func TestKNNSeparatesClusters(t *testing.T) {
+	r := rng.New(1)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 50; i++ {
+		X = append(X, []float64{r.NormFloat64(), r.NormFloat64()})
+		y = append(y, 0)
+		X = append(X, []float64{10 + r.NormFloat64(), 10 + r.NormFloat64()})
+		y = append(y, 1)
+	}
+	c := New(5)
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	tests := [][]float64{{0.5, -0.5}, {9, 11}, {-1, 1}, {10.2, 9.7}}
+	want := []int{0, 1, 0, 1}
+	pred := c.Predict(tests)
+	for i := range want {
+		if pred[i] != want[i] {
+			t.Fatalf("query %d: got %d want %d", i, pred[i], want[i])
+		}
+	}
+}
+
+func TestMajorityVote(t *testing.T) {
+	// k=3, query equidistant-ish: 2 positives beat 1 negative.
+	X := [][]float64{{1}, {2}, {3}, {100}}
+	y := []int{1, 1, 0, 0}
+	c := New(3)
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Predict([][]float64{{2}})[0]; got != 1 {
+		t.Fatalf("majority vote = %d, want 1", got)
+	}
+}
+
+func TestTieGoesPositive(t *testing.T) {
+	X := [][]float64{{0}, {2}}
+	y := []int{0, 1}
+	c := New(2)
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Predict([][]float64{{1}})[0]; got != 1 {
+		t.Fatalf("tie = %d, want 1", got)
+	}
+}
+
+func TestScoresFraction(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	y := []int{0, 1, 1, 1}
+	c := New(4)
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Scores([][]float64{{1.5}})[0]; s != 0.75 {
+		t.Fatalf("score = %v, want 0.75", s)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	c := New(5)
+	if err := c.Fit([][]float64{{1}, {2}}, []int{0, 1}); err == nil {
+		t.Fatal("k > n accepted")
+	}
+	if err := c.Fit(nil, nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+}
+
+func TestPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(1).Predict([][]float64{{1}})
+}
+
+func TestNewPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(0)
+}
+
+func TestFitCopiesData(t *testing.T) {
+	X := [][]float64{{0}, {10}}
+	y := []int{0, 1}
+	c := New(1)
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	X[0][0] = 999 // mutate after fit
+	if got := c.Predict([][]float64{{1}})[0]; got != 0 {
+		t.Fatal("model affected by caller mutation after Fit")
+	}
+}

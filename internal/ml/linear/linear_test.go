@@ -1,0 +1,192 @@
+package linear
+
+import (
+	"math"
+	"testing"
+
+	"hdfe/internal/metrics"
+	"hdfe/internal/rng"
+)
+
+// blob returns two Gaussian blobs separated along a diagonal.
+func blob(seed uint64, n int, gap float64) ([][]float64, []int) {
+	r := rng.New(seed)
+	var X [][]float64
+	var y []int
+	for i := 0; i < n; i++ {
+		X = append(X, []float64{r.NormFloat64(), r.NormFloat64()})
+		y = append(y, 0)
+		X = append(X, []float64{gap + r.NormFloat64(), gap + r.NormFloat64()})
+		y = append(y, 1)
+	}
+	return X, y
+}
+
+func TestLogRegSeparatesBlobs(t *testing.T) {
+	X, y := blob(1, 100, 4)
+	m := NewLogisticRegression()
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	acc := metrics.Accuracy(y, m.Predict(X))
+	if acc < 0.97 {
+		t.Fatalf("train accuracy %v on separated blobs", acc)
+	}
+}
+
+func TestLogRegProbabilitiesCalibratedDirection(t *testing.T) {
+	X, y := blob(2, 100, 4)
+	m := NewLogisticRegression()
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Scores([][]float64{{-2, -2}, {6, 6}})
+	if s[0] >= 0.5 || s[1] <= 0.5 {
+		t.Fatalf("scores %v not monotone in class direction", s)
+	}
+	for _, p := range s {
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %v out of range", p)
+		}
+	}
+}
+
+func TestLogRegKnownSolution(t *testing.T) {
+	// 1D data with a clean threshold at 0: weight must be positive and
+	// the boundary near 0.
+	X := [][]float64{{-3}, {-2}, {-1}, {1}, {2}, {3}}
+	y := []int{0, 0, 0, 1, 1, 1}
+	m := NewLogisticRegression()
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	w, b := m.Coefficients()
+	if w[0] <= 0 {
+		t.Fatalf("weight %v should be positive", w[0])
+	}
+	boundary := -b / w[0]
+	if math.Abs(boundary) > 0.5 {
+		t.Fatalf("decision boundary at %v, want ~0", boundary)
+	}
+}
+
+func TestLogRegRegularizationShrinksWeights(t *testing.T) {
+	X, y := blob(3, 50, 4)
+	loose := &LogisticRegression{C: 100, MaxIter: 2000, Tol: 1e-9}
+	tight := &LogisticRegression{C: 0.01, MaxIter: 2000, Tol: 1e-9}
+	if err := loose.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := tight.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	lw, _ := loose.Coefficients()
+	tw, _ := tight.Coefficients()
+	ln := math.Hypot(lw[0], lw[1])
+	tn := math.Hypot(tw[0], tw[1])
+	if tn >= ln {
+		t.Fatalf("regularized norm %v >= loose norm %v", tn, ln)
+	}
+}
+
+func TestLogRegDeterministic(t *testing.T) {
+	X, y := blob(4, 40, 3)
+	a, b := NewLogisticRegression(), NewLogisticRegression()
+	if err := a.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	aw, ab := a.Coefficients()
+	bw, bb := b.Coefficients()
+	if aw[0] != bw[0] || aw[1] != bw[1] || ab != bb {
+		t.Fatal("logreg training not deterministic")
+	}
+}
+
+func TestLogRegErrorsAndPanics(t *testing.T) {
+	m := NewLogisticRegression()
+	if err := m.Fit(nil, nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic before fit")
+		}
+	}()
+	NewLogisticRegression().Predict([][]float64{{1}})
+}
+
+func TestSGDHingeSeparatesBlobs(t *testing.T) {
+	X, y := blob(5, 100, 4)
+	m := NewSGD(7)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	acc := metrics.Accuracy(y, m.Predict(X))
+	if acc < 0.95 {
+		t.Fatalf("SGD train accuracy %v", acc)
+	}
+}
+
+func TestSGDLogLoss(t *testing.T) {
+	X, y := blob(6, 100, 4)
+	m := NewSGD(8)
+	m.Loss = LogLoss
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	acc := metrics.Accuracy(y, m.Predict(X))
+	if acc < 0.95 {
+		t.Fatalf("SGD(log) train accuracy %v", acc)
+	}
+}
+
+func TestSGDDeterministicGivenSeed(t *testing.T) {
+	X, y := blob(7, 50, 3)
+	a, b := NewSGD(42), NewSGD(42)
+	if err := a.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	sa := a.Scores(X)
+	sb := b.Scores(X)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("same-seed SGD differs")
+		}
+	}
+}
+
+func TestSGDScaleSensitivity(t *testing.T) {
+	// The paper's observation in miniature: the same data with one
+	// feature blown up by 1000x should hurt SGD's separating accuracy
+	// relative to the well-scaled version.
+	Xs, y := blob(8, 150, 2.0)
+	Xbad := make([][]float64, len(Xs))
+	for i, row := range Xs {
+		Xbad[i] = []float64{row[0] * 1000, row[1]}
+	}
+	good := NewSGD(1)
+	bad := NewSGD(1)
+	if err := good.Fit(Xs, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Fit(Xbad, y); err != nil {
+		t.Fatal(err)
+	}
+	accGood := metrics.Accuracy(y, good.Predict(Xs))
+	accBad := metrics.Accuracy(y, bad.Predict(Xbad))
+	if accBad >= accGood {
+		t.Fatalf("scaled-up data accuracy %v >= well-scaled %v; SGD should be scale sensitive", accBad, accGood)
+	}
+}
+
+func TestSGDStrings(t *testing.T) {
+	if NewSGD(1).String() == "" || NewLogisticRegression().String() == "" {
+		t.Fatal("String empty")
+	}
+}

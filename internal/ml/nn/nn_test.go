@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"hdfe/internal/metrics"
+	"hdfe/internal/rng"
+)
+
+func blobs(seed uint64, n int, gap float64) ([][]float64, []int) {
+	r := rng.New(seed)
+	var X [][]float64
+	var y []int
+	for i := 0; i < n; i++ {
+		label := i % 2
+		s := float64(label) * gap
+		X = append(X, []float64{s + r.NormFloat64(), s + r.NormFloat64()})
+		y = append(y, label)
+	}
+	return X, y
+}
+
+func TestLearnsLinearBoundary(t *testing.T) {
+	X, y := blobs(1, 200, 4)
+	c := New(Config{MaxEpochs: 200, Seed: 1})
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := metrics.Accuracy(y, c.Predict(X)); acc < 0.97 {
+		t.Fatalf("train accuracy %v", acc)
+	}
+}
+
+func TestLearnsXOR(t *testing.T) {
+	var X [][]float64
+	var y []int
+	for i := 0; i < 40; i++ {
+		for _, p := range [][3]float64{{0, 0, 0}, {0, 1, 1}, {1, 0, 1}, {1, 1, 0}} {
+			X = append(X, []float64{p[0], p[1]})
+			y = append(y, int(p[2]))
+		}
+	}
+	c := New(Config{MaxEpochs: 500, Seed: 2, LearningRate: 0.01})
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := metrics.Accuracy(y, c.Predict(X)); acc < 0.99 {
+		t.Fatalf("XOR accuracy %v", acc)
+	}
+}
+
+func TestScoresAreProbabilities(t *testing.T) {
+	X, y := blobs(3, 100, 3)
+	c := New(Config{MaxEpochs: 50, Seed: 3})
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range c.Scores(X) {
+		if s < 0 || s > 1 || math.IsNaN(s) {
+			t.Fatalf("score %v", s)
+		}
+	}
+}
+
+func TestEarlyStoppingTriggers(t *testing.T) {
+	// Trivial data converges fast; with patience 5 the run must stop long
+	// before MaxEpochs.
+	X, y := blobs(4, 60, 10)
+	c := New(Config{MaxEpochs: 1000, Patience: 5, Seed: 4})
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if c.EpochsRun() >= 1000 {
+		t.Fatalf("early stopping never fired (%d epochs)", c.EpochsRun())
+	}
+}
+
+func TestValidationMonitor(t *testing.T) {
+	X, y := blobs(5, 200, 2)
+	Xv, yv := blobs(6, 60, 2)
+	c := New(Config{MaxEpochs: 300, Seed: 5})
+	if err := c.FitValidated(X, y, Xv, yv); err != nil {
+		t.Fatal(err)
+	}
+	if acc := metrics.Accuracy(yv, c.Predict(Xv)); acc < 0.85 {
+		t.Fatalf("validation accuracy %v", acc)
+	}
+}
+
+func TestLossDecreases(t *testing.T) {
+	X, y := blobs(7, 150, 3)
+	few := New(Config{MaxEpochs: 1, Patience: 1000, Seed: 7})
+	many := New(Config{MaxEpochs: 100, Patience: 1000, Seed: 7})
+	if err := few.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := many.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if many.Loss(X, y) >= few.Loss(X, y) {
+		t.Fatalf("loss did not decrease: %v -> %v", few.Loss(X, y), many.Loss(X, y))
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	X, y := blobs(8, 80, 3)
+	a := New(Config{MaxEpochs: 30, Seed: 11})
+	b := New(Config{MaxEpochs: 30, Seed: 11})
+	if err := a.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := a.Scores(X), b.Scores(X)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("same-seed networks disagree")
+		}
+	}
+}
+
+func TestWideBinaryInput(t *testing.T) {
+	// Hypervector-shaped input: 2048 binary features; label carried by a
+	// block of 64 bits (so the signal survives random init).
+	r := rng.New(9)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 150; i++ {
+		row := make([]float64, 2048)
+		for j := range row {
+			row[j] = float64(r.Intn(2))
+		}
+		label := r.Intn(2)
+		for j := 0; j < 64; j++ {
+			row[j] = float64(label)
+		}
+		X = append(X, row)
+		y = append(y, label)
+	}
+	c := New(Config{MaxEpochs: 100, Seed: 10})
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := metrics.Accuracy(y, c.Predict(X)); acc < 0.95 {
+		t.Fatalf("wide binary input accuracy %v", acc)
+	}
+}
+
+func TestCustomArchitecture(t *testing.T) {
+	X, y := blobs(12, 100, 4)
+	c := New(Config{Hidden: []int{8}, MaxEpochs: 150, Seed: 12})
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := metrics.Accuracy(y, c.Predict(X)); acc < 0.9 {
+		t.Fatalf("small net accuracy %v", acc)
+	}
+}
+
+func TestPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(Config{}).Predict([][]float64{{1}})
+}
+
+func TestFitErrors(t *testing.T) {
+	if err := New(Config{}).Fit(nil, nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+	if err := New(Config{}).FitValidated([][]float64{{1}}, []int{0}, [][]float64{{1}}, nil); err == nil {
+		t.Fatal("mismatched validation accepted")
+	}
+}
+
+func TestString(t *testing.T) {
+	if New(Config{}).String() == "" {
+		t.Fatal("String empty")
+	}
+}

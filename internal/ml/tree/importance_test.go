@@ -1,0 +1,61 @@
+package tree
+
+import (
+	"math"
+	"testing"
+
+	"hdfe/internal/rng"
+)
+
+func TestFeatureImportancesPickSignal(t *testing.T) {
+	// Feature 1 fully determines the class; features 0 and 2 are noise.
+	r := rng.New(1)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		label := i % 2
+		X = append(X, []float64{r.Float64(), float64(label), r.Float64()})
+		y = append(y, label)
+	}
+	tr := New(Params{})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := tr.FeatureImportances()
+	if len(imp) != 3 {
+		t.Fatalf("%d importances", len(imp))
+	}
+	var sum float64
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatalf("negative importance %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importances sum to %v", sum)
+	}
+	if imp[1] < 0.9 {
+		t.Fatalf("signal feature importance %v, want ~1", imp[1])
+	}
+}
+
+func TestFeatureImportancesStumpIsZero(t *testing.T) {
+	// Pure data: no splits, all importances zero.
+	tr := New(Params{})
+	if err := tr.Fit([][]float64{{1}, {2}}, []int{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if imp := tr.FeatureImportances(); imp[0] != 0 {
+		t.Fatalf("stump importance %v", imp[0])
+	}
+}
+
+func TestFeatureImportancesPanicBeforeFit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(Params{}).FeatureImportances()
+}

@@ -1,0 +1,285 @@
+package tree
+
+import (
+	"math"
+	"testing"
+
+	"hdfe/internal/metrics"
+	"hdfe/internal/rng"
+)
+
+func TestBinExactSmallCardinality(t *testing.T) {
+	X := [][]float64{{0}, {1}, {0}, {2}, {1}}
+	b := Bin(X)
+	if b.BinCount(0) != 3 {
+		t.Fatalf("BinCount = %d, want 3", b.BinCount(0))
+	}
+	// Bin order must follow value order.
+	if b.cols[0][0] != 0 || b.cols[0][1] != 1 || b.cols[0][3] != 2 {
+		t.Fatalf("bins = %v", b.cols[0])
+	}
+	// Thresholds are midpoints.
+	if b.Threshold(0, 0) != 0.5 || b.Threshold(0, 1) != 1.5 {
+		t.Fatalf("thresholds = %v", b.thresholds[0])
+	}
+}
+
+func TestBinConstantColumn(t *testing.T) {
+	b := Bin([][]float64{{7}, {7}, {7}})
+	if b.BinCount(0) != 1 {
+		t.Fatalf("constant column has %d bins", b.BinCount(0))
+	}
+}
+
+func TestBinManyUniquesQuantile(t *testing.T) {
+	n := 10000
+	X := make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{float64(i)}
+	}
+	b := Bin(X)
+	if b.BinCount(0) > MaxBins {
+		t.Fatalf("bin count %d > MaxBins", b.BinCount(0))
+	}
+	if b.BinCount(0) < MaxBins/2 {
+		t.Fatalf("bin count %d suspiciously low", b.BinCount(0))
+	}
+	// Monotone binning: larger values land in equal-or-higher bins.
+	prev := -1
+	for i := 0; i < n; i += 37 {
+		bin := int(b.cols[0][i])
+		if bin < prev {
+			t.Fatal("binning not monotone")
+		}
+		prev = bin
+	}
+}
+
+func TestBinOf(t *testing.T) {
+	edges := []float64{1, 3, 5}
+	cases := []struct {
+		v    float64
+		want int
+	}{{0, 0}, {1, 0}, {1.5, 1}, {3, 1}, {4, 2}, {5, 2}, {9, 3}}
+	for _, c := range cases {
+		if got := binOf(edges, c.v); got != c.want {
+			t.Errorf("binOf(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func xorData() ([][]float64, []int) {
+	// XOR: not linearly separable, easily tree-separable.
+	var X [][]float64
+	var y []int
+	for i := 0; i < 20; i++ {
+		for _, p := range [][3]float64{{0, 0, 0}, {0, 1, 1}, {1, 0, 1}, {1, 1, 0}} {
+			X = append(X, []float64{p[0], p[1]})
+			y = append(y, int(p[2]))
+		}
+	}
+	return X, y
+}
+
+func TestTreeLearnsXOR(t *testing.T) {
+	X, y := xorData()
+	tr := New(Params{})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := metrics.Accuracy(y, tr.Predict(X)); acc != 1 {
+		t.Fatalf("XOR train accuracy %v", acc)
+	}
+	if tr.Depth() < 2 {
+		t.Fatalf("XOR needs depth >= 2, got %d", tr.Depth())
+	}
+}
+
+func TestTreePureNodeIsLeaf(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []int{1, 1, 1}
+	tr := New(Params{})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != 1 {
+		t.Fatalf("pure data grew %d nodes", tr.NumNodes())
+	}
+	if got := tr.Predict([][]float64{{99}})[0]; got != 1 {
+		t.Fatal("pure positive tree predicted 0")
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	r := rng.New(1)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		X = append(X, []float64{r.Float64(), r.Float64(), r.Float64()})
+		y = append(y, r.Intn(2))
+	}
+	tr := New(Params{MaxDepth: 3})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if d := tr.Depth(); d > 3 {
+		t.Fatalf("depth %d > max 3", d)
+	}
+}
+
+func TestMinSamplesLeafRespected(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []int{0, 0, 1, 1}
+	tr := New(Params{MinSamplesLeaf: 3})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// No split can leave both children with >= 3 of 4 samples.
+	if tr.NumNodes() != 1 {
+		t.Fatalf("grew %d nodes despite MinSamplesLeaf", tr.NumNodes())
+	}
+}
+
+func TestSplitChoosesInformativeFeature(t *testing.T) {
+	// Feature 1 is perfectly predictive, feature 0 is noise.
+	r := rng.New(2)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 100; i++ {
+		label := i % 2
+		X = append(X, []float64{r.Float64(), float64(label*10) + r.Float64()})
+		y = append(y, label)
+	}
+	tr := New(Params{MaxDepth: 1})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if tr.nodes[0].feature != 1 {
+		t.Fatalf("root split on feature %d, want 1", tr.nodes[0].feature)
+	}
+	if acc := metrics.Accuracy(y, tr.Predict(X)); acc != 1 {
+		t.Fatalf("stump accuracy %v", acc)
+	}
+}
+
+func TestScoresAreLeafFractions(t *testing.T) {
+	X := [][]float64{{0}, {0}, {0}, {10}}
+	y := []int{1, 1, 0, 0}
+	tr := New(Params{MaxDepth: 1})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Scores([][]float64{{0}, {10}})
+	if math.Abs(s[0]-2.0/3.0) > 1e-12 {
+		t.Fatalf("left leaf score %v, want 2/3", s[0])
+	}
+	if s[1] != 0 {
+		t.Fatalf("right leaf score %v, want 0", s[1])
+	}
+}
+
+func TestMaxFeaturesSubsampling(t *testing.T) {
+	// With MaxFeatures=1 of 2 and different seeds, the root may pick the
+	// noise feature; across seeds both choices must occur, proving the
+	// subsample is honored.
+	r := rng.New(3)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 60; i++ {
+		label := i % 2
+		X = append(X, []float64{r.Float64(), float64(label)})
+		y = append(y, label)
+	}
+	roots := map[int]bool{}
+	for seed := uint64(0); seed < 20; seed++ {
+		tr := New(Params{MaxDepth: 1, MaxFeatures: 1, Seed: seed})
+		if err := tr.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		roots[tr.nodes[0].feature] = true
+	}
+	if !roots[1] {
+		t.Fatal("informative feature never chosen")
+	}
+	if !roots[0] && !roots[-1] {
+		t.Fatal("noise feature never even considered (subsampling inert?)")
+	}
+}
+
+func TestTreeDeterministic(t *testing.T) {
+	X, y := xorData()
+	a, b := New(Params{Seed: 5}), New(Params{Seed: 5})
+	if err := a.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.Predict(X), b.Predict(X)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("same-seed trees disagree")
+		}
+	}
+}
+
+func TestFitBinnedWithBootstrapRows(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	y := []int{0, 0, 1, 1}
+	b := Bin(X)
+	tr := New(Params{})
+	// Bootstrap sample containing only class-1 rows: tree must be a pure
+	// positive leaf.
+	tr.FitBinned(b, y, []int{2, 3, 3, 2})
+	if got := tr.Predict([][]float64{{0}})[0]; got != 1 {
+		t.Fatal("bootstrap-restricted tree ignored its sample")
+	}
+}
+
+func TestTreePanics(t *testing.T) {
+	cases := []func(){
+		func() { New(Params{}).Predict([][]float64{{1}}) },
+		func() { Bin(nil) },
+		func() {
+			b := Bin([][]float64{{1}})
+			New(Params{}).FitBinned(b, []int{0}, nil)
+		},
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTreeOnHypervectorLikeInput(t *testing.T) {
+	// 512 binary features, class determined by feature 100.
+	r := rng.New(6)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 80; i++ {
+		row := make([]float64, 512)
+		for j := range row {
+			row[j] = float64(r.Intn(2))
+		}
+		label := r.Intn(2)
+		row[100] = float64(label)
+		X = append(X, row)
+		y = append(y, label)
+	}
+	tr := New(Params{})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := metrics.Accuracy(y, tr.Predict(X)); acc != 1 {
+		t.Fatalf("accuracy %v on deterministic binary feature", acc)
+	}
+	if tr.nodes[0].feature != 100 {
+		t.Fatalf("root chose feature %d, want 100", tr.nodes[0].feature)
+	}
+}

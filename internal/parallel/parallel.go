@@ -1,0 +1,106 @@
+// Package parallel provides small, allocation-light helpers for data-parallel
+// loops. The hypervector kernels and the cross-validation harness fan work
+// out across GOMAXPROCS workers in fixed contiguous chunks, which keeps
+// per-item overhead negligible and memory access patterns sequential.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers returns the degree of parallelism used by For and friends:
+// min(GOMAXPROCS, n) but at least 1.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// For runs body(i) for every i in [0, n), distributing contiguous index
+// ranges across workers. It blocks until all iterations complete. body must
+// be safe to call concurrently for distinct i. For n <= 1 or a single
+// worker it runs inline, so small loops pay no goroutine cost.
+func For(n int, body func(i int)) {
+	ForChunked(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunked splits [0, n) into one contiguous [lo, hi) range per worker and
+// runs body on each range concurrently. Use it when the body can amortize
+// per-chunk setup (scratch buffers, accumulators).
+func ForChunked(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(n)
+	if w == 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MapReduceFloat computes the sum of f(i) over [0, n) with one partial
+// accumulator per worker, avoiding contended atomics. Summation order is
+// deterministic: partials are combined in chunk order.
+func MapReduceFloat(n int, f func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	w := Workers(n)
+	if w == 1 {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += f(i)
+		}
+		return s
+	}
+	chunk := (n + w - 1) / w
+	nChunks := (n + chunk - 1) / chunk
+	partials := make([]float64, nChunks)
+	var wg sync.WaitGroup
+	for c := 0; c < nChunks; c++ {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += f(i)
+			}
+			partials[c] = s
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	var total float64
+	for _, p := range partials {
+		total += p
+	}
+	return total
+}

@@ -1,0 +1,131 @@
+// Package rng provides a small, deterministic, splittable pseudo-random
+// number generator used throughout the repository.
+//
+// Reproducibility matters here: the paper's hypervector encoders are seeded
+// random processes, and every experiment table must be regenerable bit for
+// bit. The generator is xoshiro256++ seeded through SplitMix64, following
+// the reference construction by Blackman and Vigna. It is NOT cryptographic.
+//
+// The zero value is not usable; construct generators with New or Split.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic xoshiro256++ generator. It implements the
+// subset of math/rand-style methods the repository needs, plus Split for
+// deriving statistically independent child streams (one per feature, per
+// fold, per tree, ...) without sharing mutable state across goroutines.
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a Source seeded from seed via SplitMix64 so that even seeds
+// like 0, 1, 2 produce well-mixed initial states.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	src.s0, src.s1, src.s2, src.s3 = next(), next(), next(), next()
+	// xoshiro must not start from the all-zero state; SplitMix64 of any
+	// seed cannot produce four zero words, but guard anyway.
+	if src.s0|src.s1|src.s2|src.s3 == 0 {
+		src.s0 = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s0+r.s3, 23) + r.s0
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Split returns a new Source whose stream is independent of the parent's
+// subsequent output. It draws a fresh seed from the parent and re-expands
+// it through SplitMix64, which is the standard splitting construction.
+func (r *Source) Split() *Source { return New(r.Uint64()) }
+
+// Uint64n returns a uniform integer in [0, n). It panics if n == 0.
+// Lemire's multiply-shift rejection method avoids modulo bias.
+func (r *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	threshold := -n % n
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), n)
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate using the Marsaglia polar
+// method. Determinism (given the stream) is all we need; speed is ample.
+func (r *Source) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// Perm returns a random permutation of [0, n) (Fisher-Yates).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bernoulli returns true with probability p.
+func (r *Source) Bernoulli(p float64) bool { return r.Float64() < p }

@@ -1,0 +1,32 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"hdfe/internal/dataset"
+)
+
+// The generated Pima cohort must exhibit the documented correlation
+// structure: pregnancies-age, BMI-skin-thickness and glucose-insulin are
+// the strong pairs.
+func TestPimaCorrelationStructure(t *testing.T) {
+	d := dataset.DropMissing(Pima(PimaConfig{
+		Seed: 1, CompleteNeg: 2000, CompletePos: 1000,
+	}))
+	c := dataset.Correlation(d)
+	// Column order: Preg, Glucose, BP, Skin, Insulin, BMI, DPF, Age.
+	check := func(a, b int, want, tol float64, name string) {
+		t.Helper()
+		if math.Abs(c[a][b]-want) > tol {
+			t.Errorf("%s correlation = %.3f, want ~%.2f", name, c[a][b], want)
+		}
+	}
+	// Class mixing shifts correlations slightly above the within-class
+	// targets; allow generous tolerance.
+	check(0, 7, 0.54, 0.12, "pregnancies-age")
+	check(3, 5, 0.66, 0.12, "skin-bmi")
+	check(1, 4, 0.58, 0.12, "glucose-insulin")
+	// A weak pair must stay weak.
+	check(0, 6, -0.03, 0.15, "pregnancies-dpf")
+}

@@ -1,0 +1,179 @@
+package synth
+
+import (
+	"math"
+
+	"hdfe/internal/dataset"
+	"hdfe/internal/rng"
+)
+
+// PimaFeatureNames lists the 8 Pima features in this package's column
+// order, matching the paper's Table I.
+var PimaFeatureNames = []string{
+	"Pregnancies", "Glucose", "BloodPressure", "SkinThickness",
+	"Insulin", "BMI", "DPF", "Age",
+}
+
+// pimaParam holds the class-conditional marginal for one feature: the
+// paper's Table I mean and range plus a dispersion calibrated to the
+// well-known Pima column statistics.
+type pimaParam struct {
+	mean, std, min, max float64
+	decimals            int
+}
+
+// Column order: Pregnancies, Glucose, BloodPressure, SkinThickness,
+// Insulin, BMI, DPF, Age.
+var pimaPositive = []pimaParam{
+	{4, 3.5, 0, 17, 0},          // Pregnancies
+	{145, 26, 78, 198, 0},       // Glucose
+	{74, 12, 30, 110, 0},        // BloodPressure
+	{33, 10, 7, 63, 0},          // SkinThickness
+	{207, 115, 14, 846, 0},      // Insulin
+	{36, 6.5, 23, 67, 1},        // BMI
+	{0.60, 0.33, 0.12, 2.42, 3}, // DPF
+	{36, 9, 21, 60, 0},          // Age
+}
+
+var pimaNegative = []pimaParam{
+	{3, 2.8, 0, 13, 0},
+	{111, 22, 56, 197, 0},
+	{69, 11, 24, 106, 0},
+	{27, 9, 7, 60, 0},
+	{130, 90, 15, 744, 0},
+	{32, 6.5, 18, 57, 1},
+	{0.47, 0.27, 0.08, 2.39, 3},
+	{28, 8, 21, 81, 0},
+}
+
+// pimaCorrelation is the cross-feature correlation structure (same column
+// order), approximating the published Pima correlations: pregnancies–age,
+// BMI–skin-thickness and glucose–insulin dominate.
+var pimaCorrelation = [][]float64{
+	{1.00, 0.13, 0.21, 0.08, 0.03, 0.02, -0.03, 0.54},
+	{0.13, 1.00, 0.21, 0.22, 0.58, 0.23, 0.14, 0.26},
+	{0.21, 0.21, 1.00, 0.23, 0.10, 0.28, 0.04, 0.33},
+	{0.08, 0.22, 0.23, 1.00, 0.18, 0.66, 0.16, 0.11},
+	{0.03, 0.58, 0.10, 0.18, 1.00, 0.23, 0.14, 0.04},
+	{0.02, 0.23, 0.28, 0.66, 0.23, 1.00, 0.16, 0.03},
+	{-0.03, 0.14, 0.04, 0.16, 0.14, 0.16, 1.00, 0.03},
+	{0.54, 0.26, 0.33, 0.11, 0.04, 0.03, 0.03, 1.00},
+}
+
+// PimaConfig sizes the generated Pima dataset. Complete rows have no
+// missing values; incomplete rows get NaNs in a random subset of the
+// physiological columns, mimicking the original data where insulin and
+// skin thickness are most often unrecorded.
+type PimaConfig struct {
+	Seed          uint64
+	CompleteNeg   int
+	CompletePos   int
+	IncompleteNeg int
+	IncompletePos int
+}
+
+// DefaultPimaConfig reproduces the paper's row accounting: 768 subjects
+// total, of which the 392 complete ones split 262 negative / 130 positive
+// (Pima R), and the remaining 376 carry missing values (dropped for Pima R,
+// imputed per class median for Pima M).
+func DefaultPimaConfig(seed uint64) PimaConfig {
+	return PimaConfig{
+		Seed:          seed,
+		CompleteNeg:   262,
+		CompletePos:   130,
+		IncompleteNeg: 238,
+		IncompletePos: 138,
+	}
+}
+
+// missableColumns are the columns eligible for NaN injection in incomplete
+// rows, with sampling weights reflecting the original data's missingness
+// profile (insulin missing most often, then skin thickness).
+var missableColumns = []struct {
+	idx    int
+	weight float64
+}{
+	{4, 0.90}, // Insulin
+	{3, 0.55}, // SkinThickness
+	{2, 0.09}, // BloodPressure
+	{5, 0.03}, // BMI
+	{1, 0.01}, // Glucose
+}
+
+// Pima generates a synthetic Pima-like dataset. Rows appear in shuffled
+// order. The returned dataset's schema marks every feature Continuous.
+func Pima(cfg PimaConfig) *dataset.Dataset {
+	r := rng.New(cfg.Seed)
+	L := cholesky(pimaCorrelation)
+	total := cfg.CompleteNeg + cfg.CompletePos + cfg.IncompleteNeg + cfg.IncompletePos
+	X := make([][]float64, 0, total)
+	y := make([]int, 0, total)
+
+	add := func(class int, complete bool, n int) {
+		params := pimaNegative
+		if class == 1 {
+			params = pimaPositive
+		}
+		z := make([]float64, len(params))
+		for i := 0; i < n; i++ {
+			row := make([]float64, len(params))
+			mvNormal(r, L, z)
+			for j, p := range params {
+				v := clamp(p.mean+p.std*z[j], p.min, p.max)
+				row[j] = roundTo(v, p.decimals)
+			}
+			if !complete {
+				injectMissing(r, row)
+			}
+			X = append(X, row)
+			y = append(y, class)
+		}
+	}
+	add(0, true, cfg.CompleteNeg)
+	add(1, true, cfg.CompletePos)
+	add(0, false, cfg.IncompleteNeg)
+	add(1, false, cfg.IncompletePos)
+
+	// Shuffle rows so splits see no generation-order structure.
+	r.Shuffle(len(X), func(i, j int) {
+		X[i], X[j] = X[j], X[i]
+		y[i], y[j] = y[j], y[i]
+	})
+
+	features := make([]dataset.Feature, len(PimaFeatureNames))
+	for i, name := range PimaFeatureNames {
+		features[i] = dataset.Feature{Name: name, Kind: dataset.Continuous}
+	}
+	return dataset.MustNew("Pima", features, X, y)
+}
+
+// injectMissing NaNs out at least one missable column of row, sampling each
+// column by its weight and forcing insulin missing if nothing else fires.
+func injectMissing(r *rng.Source, row []float64) {
+	any := false
+	for _, mc := range missableColumns {
+		if r.Bernoulli(mc.weight) {
+			row[mc.idx] = math.NaN()
+			any = true
+		}
+	}
+	if !any {
+		row[missableColumns[0].idx] = math.NaN()
+	}
+}
+
+// PimaR generates the paper's "Pima R" dataset: the default-size Pima with
+// all incomplete rows removed (262 negative / 130 positive).
+func PimaR(seed uint64) *dataset.Dataset {
+	d := dataset.DropMissing(Pima(DefaultPimaConfig(seed)))
+	d.Name = "Pima R"
+	return d
+}
+
+// PimaM generates the paper's "Pima M" dataset: the default-size Pima with
+// missing cells replaced by their class median (768 rows).
+func PimaM(seed uint64) *dataset.Dataset {
+	d := dataset.ImputeClassMedian(Pima(DefaultPimaConfig(seed)))
+	d.Name = "Pima M"
+	return d
+}

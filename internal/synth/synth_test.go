@@ -1,0 +1,291 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"hdfe/internal/dataset"
+	"hdfe/internal/rng"
+)
+
+func TestCholeskyIdentity(t *testing.T) {
+	eye := [][]float64{{1, 0}, {0, 1}}
+	L := cholesky(eye)
+	if L[0][0] != 1 || L[1][1] != 1 || L[1][0] != 0 {
+		t.Fatalf("cholesky(I) = %v", L)
+	}
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	m := [][]float64{
+		{4, 2, 0.6},
+		{2, 2, 0.5},
+		{0.6, 0.5, 3},
+	}
+	L := cholesky(m)
+	n := len(m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += L[i][k] * L[j][k]
+			}
+			if math.Abs(s-m[i][j]) > 1e-10 {
+				t.Fatalf("LL^T[%d][%d] = %v, want %v", i, j, s, m[i][j])
+			}
+		}
+	}
+}
+
+func TestCholeskyPanicsOnNonPD(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-PD matrix")
+		}
+	}()
+	cholesky([][]float64{{1, 2}, {2, 1}})
+}
+
+func TestPimaCorrelationIsPD(t *testing.T) {
+	// The fixed correlation matrix must factor (guards future edits).
+	cholesky(pimaCorrelation)
+}
+
+func TestMvNormalCorrelation(t *testing.T) {
+	r := rng.New(1)
+	corr := [][]float64{{1, 0.7}, {0.7, 1}}
+	L := cholesky(corr)
+	const n = 50000
+	var sxy, sxx, syy float64
+	v := make([]float64, 2)
+	for i := 0; i < n; i++ {
+		mvNormal(r, L, v)
+		sxy += v[0] * v[1]
+		sxx += v[0] * v[0]
+		syy += v[1] * v[1]
+	}
+	got := sxy / math.Sqrt(sxx*syy)
+	if math.Abs(got-0.7) > 0.02 {
+		t.Fatalf("sample correlation %v, want ~0.7", got)
+	}
+}
+
+func TestClampAndRound(t *testing.T) {
+	if clamp(5, 0, 3) != 3 || clamp(-1, 0, 3) != 0 || clamp(2, 0, 3) != 2 {
+		t.Fatal("clamp wrong")
+	}
+	if roundTo(1.2345, 2) != 1.23 || roundTo(1.5, 0) != 2 {
+		t.Fatal("roundTo wrong")
+	}
+}
+
+func TestPimaShapeAndBalance(t *testing.T) {
+	d := Pima(DefaultPimaConfig(42))
+	if d.Len() != 768 {
+		t.Fatalf("rows = %d, want 768", d.Len())
+	}
+	if d.NumFeatures() != 8 {
+		t.Fatalf("features = %d", d.NumFeatures())
+	}
+	neg, pos := d.ClassCounts()
+	if neg != 500 || pos != 268 {
+		t.Fatalf("class counts = (%d,%d), want (500,268)", neg, pos)
+	}
+}
+
+func TestPimaRMatchesPaperCounts(t *testing.T) {
+	d := PimaR(42)
+	if d.Len() != 392 {
+		t.Fatalf("Pima R rows = %d, want 392", d.Len())
+	}
+	neg, pos := d.ClassCounts()
+	if neg != 262 || pos != 130 {
+		t.Fatalf("Pima R counts = (%d,%d), want (262,130)", neg, pos)
+	}
+	if d.HasMissing() {
+		t.Fatal("Pima R has missing values")
+	}
+}
+
+func TestPimaMComplete(t *testing.T) {
+	d := PimaM(42)
+	if d.Len() != 768 {
+		t.Fatalf("Pima M rows = %d", d.Len())
+	}
+	if d.HasMissing() {
+		t.Fatal("Pima M still has missing values")
+	}
+}
+
+func TestPimaIncompleteRowsHaveMissing(t *testing.T) {
+	d := Pima(DefaultPimaConfig(7))
+	if got := d.Len() - dataset.DropMissing(d).Len(); got != 376 {
+		t.Fatalf("%d incomplete rows, want 376", got)
+	}
+}
+
+// The generated complete rows must reproduce Table I's per-class means
+// within a loose tolerance (the values are means of ~hundreds of truncated
+// normals, so a few percent of slack).
+func TestPimaTable1Calibration(t *testing.T) {
+	d := PimaR(1)
+	sums := dataset.Summarize(d)
+	byName := map[string]dataset.FeatureSummary{}
+	for _, s := range sums {
+		byName[s.Name] = s
+	}
+	check := func(name string, wantPos, wantNeg, tolFrac float64) {
+		t.Helper()
+		s, ok := byName[name]
+		if !ok {
+			t.Fatalf("feature %q missing", name)
+		}
+		if math.Abs(s.PosMean-wantPos) > tolFrac*wantPos {
+			t.Errorf("%s positive mean = %.2f, want ~%.2f", name, s.PosMean, wantPos)
+		}
+		if math.Abs(s.NegMean-wantNeg) > tolFrac*wantNeg {
+			t.Errorf("%s negative mean = %.2f, want ~%.2f", name, s.NegMean, wantNeg)
+		}
+	}
+	check("Glucose", 145, 111, 0.05)
+	check("BMI", 36, 32, 0.05)
+	check("Age", 36, 28, 0.08)
+	check("BloodPressure", 74, 69, 0.05)
+	check("SkinThickness", 33, 27, 0.08)
+	check("Insulin", 207, 130, 0.15)
+	check("DPF", 0.60, 0.47, 0.15)
+}
+
+func TestPimaRangesRespected(t *testing.T) {
+	d := Pima(DefaultPimaConfig(3))
+	// Global range per column is the union of the class ranges.
+	lo := []float64{0, 56, 24, 7, 14, 18, 0.08, 21}
+	hi := []float64{17, 198, 110, 63, 846, 67, 2.42, 81}
+	for i, row := range d.X {
+		for j, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo[j] || v > hi[j] {
+				t.Fatalf("row %d col %d = %v outside [%v,%v]", i, j, v, lo[j], hi[j])
+			}
+		}
+	}
+}
+
+func TestPimaDeterministic(t *testing.T) {
+	a, b := Pima(DefaultPimaConfig(5)), Pima(DefaultPimaConfig(5))
+	for i := range a.X {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("labels differ")
+		}
+		for j := range a.X[i] {
+			av, bv := a.X[i][j], b.X[i][j]
+			if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+				t.Fatal("same-seed Pima differs")
+			}
+		}
+	}
+	c := Pima(DefaultPimaConfig(6))
+	diff := false
+	for i := range a.X {
+		if a.Y[i] != c.Y[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical label order")
+	}
+}
+
+func TestSylhetShapeAndBalance(t *testing.T) {
+	d := Sylhet(DefaultSylhetConfig(42))
+	if d.Len() != 520 {
+		t.Fatalf("rows = %d, want 520", d.Len())
+	}
+	if d.NumFeatures() != 16 {
+		t.Fatalf("features = %d, want 16", d.NumFeatures())
+	}
+	neg, pos := d.ClassCounts()
+	if neg != 200 || pos != 320 {
+		t.Fatalf("counts = (%d,%d), want (200,320)", neg, pos)
+	}
+	if d.HasMissing() {
+		t.Fatal("Sylhet has missing values")
+	}
+}
+
+func TestSylhetSchema(t *testing.T) {
+	d := Sylhet(DefaultSylhetConfig(1))
+	if d.Features[0].Name != "Age" || d.Features[0].Kind != dataset.Continuous {
+		t.Fatal("Age schema wrong")
+	}
+	for _, f := range d.Features[1:] {
+		if f.Kind != dataset.Binary {
+			t.Fatalf("feature %s not binary", f.Name)
+		}
+	}
+}
+
+func TestSylhetValueDomains(t *testing.T) {
+	d := Sylhet(DefaultSylhetConfig(2))
+	for i, row := range d.X {
+		if row[0] < 16 || row[0] > 90 {
+			t.Fatalf("row %d age %v", i, row[0])
+		}
+		if row[1] != 1 && row[1] != 2 {
+			t.Fatalf("row %d sex %v", i, row[1])
+		}
+		for j := 2; j < len(row); j++ {
+			if row[j] != 0 && row[j] != 1 {
+				t.Fatalf("row %d symptom %d = %v", i, j, row[j])
+			}
+		}
+	}
+}
+
+func TestSylhetSymptomPrevalenceCalibration(t *testing.T) {
+	d := Sylhet(SylhetConfig{Seed: 3, Pos: 5000, Neg: 5000})
+	// Polyuria column index 2: prevalence must track pPos/pNeg closely at
+	// this sample size.
+	var posHits, negHits, posN, negN float64
+	for i, row := range d.X {
+		if d.Y[i] == 1 {
+			posN++
+			posHits += row[2]
+		} else {
+			negN++
+			negHits += row[2]
+		}
+	}
+	// The severity coupling preserves marginals up to clamping at the
+	// probability boundaries, which biases extreme prevalences slightly
+	// toward the interior; allow that shift.
+	if got := posHits / posN; math.Abs(got-sylhetSymptoms[0].pPos) > 0.04 {
+		t.Fatalf("P(polyuria|pos) = %v, want ~%v", got, sylhetSymptoms[0].pPos)
+	}
+	if got := negHits / negN; math.Abs(got-sylhetSymptoms[0].pNeg) > 0.04 {
+		t.Fatalf("P(polyuria|neg) = %v, want ~%v", got, sylhetSymptoms[0].pNeg)
+	}
+}
+
+func TestSylhetSeparability(t *testing.T) {
+	// Sanity: a trivial rule (polyuria OR polydipsia) should already beat
+	// 80% on this dataset, as it does on the real one. If this fails the
+	// calibration drifted and every downstream table would be wrong.
+	d := Sylhet(DefaultSylhetConfig(4))
+	correct := 0
+	for i, row := range d.X {
+		pred := 0
+		if row[2] == 1 || row[3] == 1 {
+			pred = 1
+		}
+		if pred == d.Y[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(d.Len())
+	if acc < 0.8 {
+		t.Fatalf("polyuria/polydipsia rule accuracy %v < 0.8", acc)
+	}
+}

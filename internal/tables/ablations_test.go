@@ -1,0 +1,65 @@
+package tables
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAblationsQuick(t *testing.T) {
+	cfg := quickCfg()
+	res, err := Ablations(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := DatasetNames(cfg)
+	if len(names) != 3 {
+		t.Fatalf("%d dataset names", len(names))
+	}
+	if len(res.Dims) != 3 {
+		t.Fatalf("quick dims = %v", res.Dims)
+	}
+	for _, name := range names {
+		if len(res.DimAccuracy[name]) != len(res.Dims) {
+			t.Fatalf("%s: %d dim accuracies", name, len(res.DimAccuracy[name]))
+		}
+		for _, grids := range []map[string][2]float64{res.ModeAccuracy, res.TieAccuracy, res.NNvsProto} {
+			pair := grids[name]
+			for _, v := range pair {
+				if math.IsNaN(v) || v < 0.3 || v > 1 {
+					t.Fatalf("%s: implausible ablation accuracy %v", name, v)
+				}
+			}
+		}
+	}
+	var buf bytes.Buffer
+	RenderAblations(&buf, res, names)
+	out := buf.String()
+	for _, marker := range []string{"Ablation A", "Ablation B", "Ablation C", "Ablation D", "Prototype"} {
+		if !strings.Contains(out, marker) {
+			t.Fatalf("render missing %q:\n%s", marker, out)
+		}
+	}
+}
+
+func TestDimSweepAccuracyGrowsThenSaturates(t *testing.T) {
+	// Larger D should never be catastrophically worse: the highest-D
+	// accuracy must be within a few points of the best.
+	cfg := quickCfg()
+	res, err := Ablations(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, accs := range res.DimAccuracy {
+		best := 0.0
+		for _, a := range accs {
+			if a > best {
+				best = a
+			}
+		}
+		if last := accs[len(accs)-1]; last < best-0.08 {
+			t.Fatalf("%s: top dimensionality accuracy %v far below best %v", name, last, best)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package tables
+
+import (
+	"fmt"
+
+	"hdfe/internal/core"
+	"hdfe/internal/dataset"
+	"hdfe/internal/eval"
+	"hdfe/internal/metrics"
+	"hdfe/internal/ml"
+	"hdfe/internal/ml/nn"
+	"hdfe/internal/rng"
+)
+
+// hdOptions derives the encoding options for a dataset from the config;
+// each dataset gets its own deterministic encoding seed.
+func hdOptions(cfg Config, datasetIdx int) core.Options {
+	return core.Options{Dim: cfg.Dim, Seed: cfg.Seed*1000003 + uint64(datasetIdx)}
+}
+
+// nnConfig builds the paper's Sequential NN configuration.
+func nnConfig(cfg Config, seed uint64) nn.Config {
+	c := nn.Config{Hidden: []int{32, 32}, MaxEpochs: 1000, Patience: 20, Seed: seed}
+	if cfg.Quick {
+		c.MaxEpochs = 60
+		c.Patience = 10
+	}
+	return c
+}
+
+// ---------------------------------------------------------------- Table I
+
+// Table1Result carries the per-class feature distribution of Pima R.
+type Table1Result struct {
+	Dataset   string
+	Summaries []dataset.FeatureSummary
+}
+
+// Table1 regenerates the paper's Table I from the Pima R dataset.
+func Table1(cfg Config) Table1Result {
+	cfg = cfg.normalized()
+	d := LoadDatasets(cfg.Seed).PimaR
+	return Table1Result{Dataset: d.Name, Summaries: dataset.Summarize(d)}
+}
+
+// --------------------------------------------------------------- Table II
+
+// Table2Result holds testing accuracy for the Hamming model (leave-one-out)
+// and the Sequential NN (70/15/15, repeated trials) on each dataset, with
+// the NN trained on raw features and on hypervectors.
+type Table2Result struct {
+	DatasetNames []string
+	Hamming      []float64 // per dataset
+	NNFeatures   []float64
+	NNHyper      []float64
+}
+
+// Table2 regenerates the paper's Table II.
+func Table2(cfg Config) (*Table2Result, error) {
+	cfg = cfg.normalized()
+	ds := LoadDatasets(cfg.Seed)
+	res := &Table2Result{}
+	for di, d := range ds.List() {
+		res.DatasetNames = append(res.DatasetNames, d.Name)
+		opts := hdOptions(cfg, di)
+
+		ham, err := core.HammingLOO(d, opts)
+		if err != nil {
+			return nil, fmt.Errorf("tables: hamming on %s: %w", d.Name, err)
+		}
+		res.Hamming = append(res.Hamming, ham.Accuracy())
+
+		_, hvFloats, err := core.EncodeDataset(d, opts)
+		if err != nil {
+			return nil, fmt.Errorf("tables: encoding %s: %w", d.Name, err)
+		}
+		featAcc, err := repeatedNN(cfg, d, d.X, uint64(di)*17+1)
+		if err != nil {
+			return nil, fmt.Errorf("tables: NN(features) on %s: %w", d.Name, err)
+		}
+		hvAcc, err := repeatedNN(cfg, d, hvFloats, uint64(di)*17+2)
+		if err != nil {
+			return nil, fmt.Errorf("tables: NN(hypervectors) on %s: %w", d.Name, err)
+		}
+		res.NNFeatures = append(res.NNFeatures, featAcc)
+		res.NNHyper = append(res.NNHyper, hvAcc)
+	}
+	return res, nil
+}
+
+// repeatedNN runs the paper's NN protocol: Trials times, split 70/15/15,
+// train with validation-monitored early stopping, record test accuracy.
+// Trials run in parallel.
+func repeatedNN(cfg Config, d *dataset.Dataset, X [][]float64, salt uint64) (float64, error) {
+	splitSrc := rng.New(cfg.Seed ^ (salt * 0x9e3779b97f4a7c15))
+	type trialSplit struct{ train, val, test []int }
+	splits := make([]trialSplit, cfg.Trials)
+	seeds := make([]uint64, cfg.Trials)
+	for t := range splits {
+		tr, va, te := dataset.TrainValTest(d, 0.70, 0.15, splitSrc.Split())
+		splits[t] = trialSplit{tr, va, te}
+		seeds[t] = splitSrc.Uint64()
+	}
+	accs := make([]float64, cfg.Trials)
+	errs := make([]error, cfg.Trials)
+	done := make(chan int, cfg.Trials)
+	for t := 0; t < cfg.Trials; t++ {
+		go func(t int) {
+			defer func() { done <- t }()
+			s := splits[t]
+			net := nn.New(nnConfig(cfg, seeds[t]))
+			trX, trY := eval.Select(X, d.Y, s.train)
+			vaX, vaY := eval.Select(X, d.Y, s.val)
+			teX, teY := eval.Select(X, d.Y, s.test)
+			if err := net.FitValidated(trX, trY, vaX, vaY); err != nil {
+				errs[t] = err
+				return
+			}
+			accs[t] = metrics.Accuracy(teY, net.Predict(teX))
+		}(t)
+	}
+	for t := 0; t < cfg.Trials; t++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return ml.Mean(accs), nil
+}
+
+// -------------------------------------------------------------- Table III
+
+// Table3Cell is one model × dataset entry: CV accuracy on raw features and
+// on hypervectors.
+type Table3Cell struct {
+	Features float64
+	Hyper    float64
+}
+
+// Table3Result is indexed [model][dataset].
+type Table3Result struct {
+	ModelNames   []string
+	DatasetNames []string
+	Cells        [][]Table3Cell
+}
+
+// Table3 regenerates the paper's Table III: stratified k-fold
+// cross-validation accuracy for every zoo model on every dataset, with raw
+// features and with hypervectors.
+func Table3(cfg Config) (*Table3Result, error) {
+	cfg = cfg.normalized()
+	ds := LoadDatasets(cfg.Seed)
+	zoo := Zoo(cfg)
+	res := &Table3Result{Cells: make([][]Table3Cell, len(zoo))}
+	for _, m := range zoo {
+		res.ModelNames = append(res.ModelNames, m.Name)
+	}
+	for di, d := range ds.List() {
+		res.DatasetNames = append(res.DatasetNames, d.Name)
+		_, hvFloats, err := core.EncodeDataset(d, hdOptions(cfg, di))
+		if err != nil {
+			return nil, fmt.Errorf("tables: encoding %s: %w", d.Name, err)
+		}
+		folds := dataset.StratifiedKFold(d, cfg.Folds, rng.New(cfg.Seed+uint64(di)*31))
+		for mi, m := range zoo {
+			featScore, err := cvScore(m, d.Y, d.X, folds, cfg.Seed+uint64(mi))
+			if err != nil {
+				return nil, fmt.Errorf("tables: %s(features) on %s: %w", m.Name, d.Name, err)
+			}
+			hvScore, err := cvScore(m, d.Y, hvFloats, folds, cfg.Seed+uint64(mi)+500)
+			if err != nil {
+				return nil, fmt.Errorf("tables: %s(hypervectors) on %s: %w", m.Name, d.Name, err)
+			}
+			res.Cells[mi] = append(res.Cells[mi], Table3Cell{Features: featScore, Hyper: hvScore})
+		}
+	}
+	return res, nil
+}
+
+func cvScore(m ModelSpec, y []int, X [][]float64, folds []dataset.Fold, seed uint64) (float64, error) {
+	seedSrc := rng.New(seed)
+	factory := func() ml.Classifier { return m.New(seedSrc.Uint64()) }
+	results, err := eval.CrossValidate(factory, X, y, folds)
+	if err != nil {
+		return 0, err
+	}
+	return eval.CVScore(results), nil
+}
+
+// ----------------------------------------------------------- Tables IV, V
+
+// MetricsRow is one model's Table IV/V row: the five reported metrics for
+// the feature-based and hypervector-based variant.
+type MetricsRow struct {
+	Model    string
+	Features metrics.Report
+	Hyper    metrics.Report
+}
+
+// TestMetricsResult holds a Table IV or Table V.
+type TestMetricsResult struct {
+	Dataset string
+	Rows    []MetricsRow
+	// Hamming is the leave-one-out reference row (Table V only; nil for
+	// Table IV).
+	Hamming *metrics.Report
+}
+
+// Table4 regenerates the paper's Table IV: test metrics of every zoo model
+// on Pima M with a 90/10 stratified split.
+func Table4(cfg Config) (*TestMetricsResult, error) {
+	cfg = cfg.normalized()
+	ds := LoadDatasets(cfg.Seed)
+	return testMetrics(cfg, ds.PimaM, 1, false)
+}
+
+// Table5 regenerates the paper's Table V: test metrics on Syhlet plus the
+// Hamming leave-one-out reference row.
+func Table5(cfg Config) (*TestMetricsResult, error) {
+	cfg = cfg.normalized()
+	ds := LoadDatasets(cfg.Seed)
+	return testMetrics(cfg, ds.Sylhet, 2, true)
+}
+
+func testMetrics(cfg Config, d *dataset.Dataset, datasetIdx int, withHamming bool) (*TestMetricsResult, error) {
+	opts := hdOptions(cfg, datasetIdx)
+	_, hvFloats, err := core.EncodeDataset(d, opts)
+	if err != nil {
+		return nil, fmt.Errorf("tables: encoding %s: %w", d.Name, err)
+	}
+	train, test := dataset.StratifiedSplit(d, 0.9, rng.New(cfg.Seed+uint64(datasetIdx)*77))
+	res := &TestMetricsResult{Dataset: d.Name}
+	for mi, m := range Zoo(cfg) {
+		featConf, err := eval.TrainTest(factoryFor(m, cfg.Seed+uint64(mi)), d.X, d.Y, train, test)
+		if err != nil {
+			return nil, fmt.Errorf("tables: %s(features) on %s: %w", m.Name, d.Name, err)
+		}
+		hvConf, err := eval.TrainTest(factoryFor(m, cfg.Seed+uint64(mi)+900), hvFloats, d.Y, train, test)
+		if err != nil {
+			return nil, fmt.Errorf("tables: %s(hypervectors) on %s: %w", m.Name, d.Name, err)
+		}
+		res.Rows = append(res.Rows, MetricsRow{
+			Model:    m.Name,
+			Features: featConf.Summarize(),
+			Hyper:    hvConf.Summarize(),
+		})
+	}
+	if withHamming {
+		ham, err := core.HammingLOO(d, opts)
+		if err != nil {
+			return nil, fmt.Errorf("tables: hamming on %s: %w", d.Name, err)
+		}
+		report := ham.Summarize()
+		res.Hamming = &report
+	}
+	return res, nil
+}
+
+func factoryFor(m ModelSpec, seed uint64) ml.Factory {
+	src := rng.New(seed)
+	return func() ml.Classifier { return m.New(src.Uint64()) }
+}

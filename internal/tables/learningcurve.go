@@ -1,0 +1,113 @@
+package tables
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"hdfe/internal/core"
+	"hdfe/internal/dataset"
+	"hdfe/internal/eval"
+	"hdfe/internal/metrics"
+	"hdfe/internal/ml"
+	"hdfe/internal/rng"
+)
+
+// LearningCurveResult quantifies the paper's §III observation that "when
+// data is scarce, our approach has the largest positive impact": test
+// accuracy of one model trained on growing fractions of the training set,
+// on raw features vs hypervectors. The hypervector advantage should be
+// widest at small sizes and shrink as data grows.
+type LearningCurveResult struct {
+	Dataset  string
+	Model    string
+	Sizes    []int     // absolute training-set sizes
+	Features []float64 // mean test accuracy per size
+	Hyper    []float64
+}
+
+// LearningCurve evaluates the named zoo model (default "SGD") on the
+// Pima M dataset across training fractions {0.1 ... 1.0} of an 80%
+// training pool, with a fixed 20% stratified test set, averaging Repeats
+// resamples per point.
+func LearningCurve(cfg Config, modelName string, repeats int) (*LearningCurveResult, error) {
+	cfg = cfg.normalized()
+	if modelName == "" {
+		modelName = "SGD"
+	}
+	if repeats <= 0 {
+		repeats = 5
+	}
+	var spec *ModelSpec
+	for _, m := range Zoo(cfg) {
+		if m.Name == modelName {
+			spec = &m
+			break
+		}
+	}
+	if spec == nil {
+		return nil, fmt.Errorf("tables: unknown model %q", modelName)
+	}
+
+	d := LoadDatasets(cfg.Seed).PimaM
+	_, hvFloats, err := core.EncodeDataset(d, hdOptions(cfg, 1))
+	if err != nil {
+		return nil, err
+	}
+	res := &LearningCurveResult{Dataset: d.Name, Model: modelName}
+
+	src := rng.New(cfg.Seed + 99)
+	trainPool, test := dataset.StratifiedSplit(d, 0.8, src)
+	fractions := []float64{0.1, 0.2, 0.35, 0.5, 0.75, 1.0}
+	if cfg.Quick {
+		fractions = []float64{0.2, 0.5, 1.0}
+	}
+	for _, frac := range fractions {
+		size := int(frac * float64(len(trainPool)))
+		if size < 10 {
+			size = 10
+		}
+		res.Sizes = append(res.Sizes, size)
+		var featSum, hvSum float64
+		for rep := 0; rep < repeats; rep++ {
+			repSrc := src.Split()
+			sample := append([]int(nil), trainPool...)
+			repSrc.Shuffle(len(sample), func(i, j int) { sample[i], sample[j] = sample[j], sample[i] })
+			train := sample[:size]
+			featAcc, err := curvePoint(spec.New(repSrc.Uint64()), d.X, d.Y, train, test)
+			if err != nil {
+				return nil, err
+			}
+			hvAcc, err := curvePoint(spec.New(repSrc.Uint64()), hvFloats, d.Y, train, test)
+			if err != nil {
+				return nil, err
+			}
+			featSum += featAcc
+			hvSum += hvAcc
+		}
+		res.Features = append(res.Features, featSum/float64(repeats))
+		res.Hyper = append(res.Hyper, hvSum/float64(repeats))
+	}
+	return res, nil
+}
+
+func curvePoint(clf ml.Classifier, X [][]float64, y []int, train, test []int) (float64, error) {
+	trX, trY := eval.Select(X, y, train)
+	teX, teY := eval.Select(X, y, test)
+	if err := clf.Fit(trX, trY); err != nil {
+		return 0, err
+	}
+	return metrics.Accuracy(teY, clf.Predict(teX)), nil
+}
+
+// RenderLearningCurve prints the curve with the per-size hypervector gap.
+func RenderLearningCurve(w io.Writer, res *LearningCurveResult) {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Learning curve — %s on %s\n", res.Model, res.Dataset)
+	fmt.Fprintln(tw, "Train size\tFeatures\tHypervectors\tHV gap")
+	for i, size := range res.Sizes {
+		gap := res.Hyper[i] - res.Features[i]
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%+.1f pts\n", size, pct(res.Features[i]), pct(res.Hyper[i]), 100*gap)
+	}
+	tw.Flush()
+}

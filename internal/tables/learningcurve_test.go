@@ -1,0 +1,56 @@
+package tables
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLearningCurveQuick(t *testing.T) {
+	cfg := quickCfg()
+	res, err := LearningCurve(cfg, "SGD", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model != "SGD" || res.Dataset != "Pima M" {
+		t.Fatalf("labels %s/%s", res.Model, res.Dataset)
+	}
+	if len(res.Sizes) != 3 || len(res.Features) != 3 || len(res.Hyper) != 3 {
+		t.Fatalf("quick curve has %d points", len(res.Sizes))
+	}
+	for i := 1; i < len(res.Sizes); i++ {
+		if res.Sizes[i] <= res.Sizes[i-1] {
+			t.Fatal("sizes not increasing")
+		}
+	}
+	for i := range res.Sizes {
+		for _, v := range []float64{res.Features[i], res.Hyper[i]} {
+			if math.IsNaN(v) || v < 0.2 || v > 1 {
+				t.Fatalf("implausible accuracy %v", v)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	RenderLearningCurve(&buf, res)
+	if !strings.Contains(buf.String(), "HV gap") {
+		t.Fatal("render missing gap column")
+	}
+}
+
+func TestLearningCurveUnknownModel(t *testing.T) {
+	if _, err := LearningCurve(quickCfg(), "NotAModel", 1); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestLearningCurveDefaults(t *testing.T) {
+	// Empty model name and non-positive repeats fall back to defaults.
+	res, err := LearningCurve(quickCfg(), "", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model != "SGD" {
+		t.Fatalf("default model %s", res.Model)
+	}
+}

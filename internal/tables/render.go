@@ -1,0 +1,100 @@
+package tables
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+)
+
+func pct(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*v)
+}
+
+func ratio(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// RenderTable1 prints the per-class feature distribution in the paper's
+// Table I layout (mean with range in parentheses).
+func RenderTable1(w io.Writer, res Table1Result) {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Table I — feature distribution (%s)\n", res.Dataset)
+	fmt.Fprintln(tw, "Feature\tPositive\tNegative")
+	for _, s := range res.Summaries {
+		fmt.Fprintf(tw, "%s\t%.1f (%.4g-%.4g)\t%.1f (%.4g-%.4g)\n",
+			s.Name, s.PosMean, s.PosMin, s.PosMax, s.NegMean, s.NegMin, s.NegMax)
+	}
+	tw.Flush()
+}
+
+// RenderTable2 prints Hamming and Sequential NN testing accuracy.
+func RenderTable2(w io.Writer, res *Table2Result) {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table II — testing accuracy (features vs hypervectors)")
+	fmt.Fprint(tw, "Model")
+	for _, name := range res.DatasetNames {
+		fmt.Fprintf(tw, "\t%s feat\t%s HV", name, name)
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprint(tw, "Hamming")
+	for i := range res.DatasetNames {
+		fmt.Fprintf(tw, "\t-\t%s", pct(res.Hamming[i]))
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprint(tw, "Sequential NN")
+	for i := range res.DatasetNames {
+		fmt.Fprintf(tw, "\t%s\t%s", pct(res.NNFeatures[i]), pct(res.NNHyper[i]))
+	}
+	fmt.Fprintln(tw)
+	tw.Flush()
+}
+
+// RenderTable3 prints the cross-validation accuracy grid.
+func RenderTable3(w io.Writer, res *Table3Result) {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table III — cross-validation accuracy (features vs hypervectors)")
+	fmt.Fprint(tw, "Model")
+	for _, name := range res.DatasetNames {
+		fmt.Fprintf(tw, "\t%s feat\t%s HV", name, name)
+	}
+	fmt.Fprintln(tw)
+	for mi, model := range res.ModelNames {
+		fmt.Fprint(tw, model)
+		for di := range res.DatasetNames {
+			c := res.Cells[mi][di]
+			fmt.Fprintf(tw, "\t%s\t%s", pct(c.Features), pct(c.Hyper))
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// RenderTestMetrics prints a Table IV/V metric grid.
+func RenderTestMetrics(w io.Writer, title string, res *TestMetricsResult) {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s — %s\n", title, res.Dataset)
+	fmt.Fprintln(tw, "Model\tPrec feat\tPrec HD\tRecall feat\tRecall HD\tSpec feat\tSpec HD\tF1 feat\tF1 HD\tAcc feat\tAcc HD")
+	for _, row := range res.Rows {
+		f, h := row.Features, row.Hyper
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			row.Model,
+			ratio(f.Precision), ratio(h.Precision),
+			ratio(f.Recall), ratio(h.Recall),
+			ratio(f.Specificity), ratio(h.Specificity),
+			ratio(f.F1), ratio(h.F1),
+			pct(f.Accuracy), pct(h.Accuracy))
+	}
+	if res.Hamming != nil {
+		h := *res.Hamming
+		fmt.Fprintf(tw, "Hamming (LOO)\t-\t%s\t-\t%s\t-\t%s\t-\t%s\t-\t%s\n",
+			ratio(h.Precision), ratio(h.Recall), ratio(h.Specificity), ratio(h.F1), pct(h.Accuracy))
+	}
+	tw.Flush()
+}

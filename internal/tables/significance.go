@@ -1,0 +1,119 @@
+package tables
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"hdfe/internal/core"
+	"hdfe/internal/dataset"
+	"hdfe/internal/eval"
+	"hdfe/internal/metrics"
+	"hdfe/internal/rng"
+)
+
+// SignificanceRow is one model's paired comparison between its
+// feature-trained and hypervector-trained variants: pooled 10-fold CV
+// predictions tested with McNemar's test.
+type SignificanceRow struct {
+	Model       string
+	FeatAcc     float64
+	HyperAcc    float64
+	OnlyFeat    int // examples only the feature model got right
+	OnlyHyper   int // examples only the hypervector model got right
+	PValue      float64
+	Significant bool // p < 0.05
+}
+
+// SignificanceResult covers all zoo models on one dataset.
+type SignificanceResult struct {
+	Dataset string
+	Rows    []SignificanceRow
+}
+
+// Significance asks the question the paper's tables imply but never test:
+// for each model, is the hypervector variant's advantage (or deficit)
+// statistically distinguishable from noise? Each model is cross-validated
+// on the same folds with both representations, predictions are pooled
+// across held-out folds (every record predicted exactly once per
+// representation), and McNemar's test scores the paired disagreements.
+func Significance(cfg Config, which string) (*SignificanceResult, error) {
+	cfg = cfg.normalized()
+	ds := LoadDatasets(cfg.Seed)
+	var d *dataset.Dataset
+	var datasetIdx int
+	switch which {
+	case "", "pima-m":
+		d, datasetIdx = ds.PimaM, 1
+	case "pima-r":
+		d, datasetIdx = ds.PimaR, 0
+	case "sylhet":
+		d, datasetIdx = ds.Sylhet, 2
+	default:
+		return nil, fmt.Errorf("tables: unknown dataset %q", which)
+	}
+	_, hvFloats, err := core.EncodeDataset(d, hdOptions(cfg, datasetIdx))
+	if err != nil {
+		return nil, err
+	}
+	folds := dataset.StratifiedKFold(d, cfg.Folds, rng.New(cfg.Seed+7))
+
+	res := &SignificanceResult{Dataset: d.Name}
+	for mi, m := range Zoo(cfg) {
+		featPred, err := pooledPredictions(m, cfg.Seed+uint64(mi), d.X, d.Y, folds)
+		if err != nil {
+			return nil, fmt.Errorf("tables: %s(features): %w", m.Name, err)
+		}
+		hyperPred, err := pooledPredictions(m, cfg.Seed+uint64(mi)+700, hvFloats, d.Y, folds)
+		if err != nil {
+			return nil, fmt.Errorf("tables: %s(hypervectors): %w", m.Name, err)
+		}
+		mc := metrics.McNemar(d.Y, featPred, hyperPred)
+		res.Rows = append(res.Rows, SignificanceRow{
+			Model:       m.Name,
+			FeatAcc:     metrics.Accuracy(d.Y, featPred),
+			HyperAcc:    metrics.Accuracy(d.Y, hyperPred),
+			OnlyFeat:    mc.OnlyACorrect,
+			OnlyHyper:   mc.OnlyBCorrect,
+			PValue:      mc.PValue,
+			Significant: mc.PValue < 0.05,
+		})
+	}
+	return res, nil
+}
+
+// pooledPredictions cross-validates and returns one prediction per record,
+// taken from the fold where that record was held out.
+func pooledPredictions(m ModelSpec, seed uint64, X [][]float64, y []int, folds []dataset.Fold) ([]int, error) {
+	pred := make([]int, len(y))
+	seedSrc := rng.New(seed)
+	for _, fold := range folds {
+		clf := m.New(seedSrc.Uint64())
+		trX, trY := eval.Select(X, y, fold.Train)
+		teX, _ := eval.Select(X, y, fold.Test)
+		if err := clf.Fit(trX, trY); err != nil {
+			return nil, err
+		}
+		p := clf.Predict(teX)
+		for i, row := range fold.Test {
+			pred[row] = p[i]
+		}
+	}
+	return pred, nil
+}
+
+// RenderSignificance prints the paired-test table.
+func RenderSignificance(w io.Writer, res *SignificanceResult) {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "McNemar paired test, features vs hypervectors — %s (pooled CV predictions)\n", res.Dataset)
+	fmt.Fprintln(tw, "Model\tAcc feat\tAcc HV\tonly-feat\tonly-HV\tp-value\tsignificant")
+	for _, r := range res.Rows {
+		sig := ""
+		if r.Significant {
+			sig = "yes"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%.4f\t%s\n",
+			r.Model, pct(r.FeatAcc), pct(r.HyperAcc), r.OnlyFeat, r.OnlyHyper, r.PValue, sig)
+	}
+	tw.Flush()
+}

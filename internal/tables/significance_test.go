@@ -1,0 +1,47 @@
+package tables
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSignificanceQuick(t *testing.T) {
+	res, err := Significance(quickCfg(), "pima-m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dataset != "Pima M" || len(res.Rows) != 9 {
+		t.Fatalf("shape %s/%d", res.Dataset, len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if math.IsNaN(r.PValue) || r.PValue < 0 || r.PValue > 1 {
+			t.Fatalf("%s: p-value %v", r.Model, r.PValue)
+		}
+		if r.FeatAcc < 0.3 || r.HyperAcc < 0.3 {
+			t.Fatalf("%s: implausible accuracies %v/%v", r.Model, r.FeatAcc, r.HyperAcc)
+		}
+		if r.Significant != (r.PValue < 0.05) {
+			t.Fatalf("%s: Significant flag inconsistent", r.Model)
+		}
+	}
+	var buf bytes.Buffer
+	RenderSignificance(&buf, res)
+	if !strings.Contains(buf.String(), "p-value") {
+		t.Fatal("render missing p-value column")
+	}
+}
+
+func TestSignificanceDatasetSelection(t *testing.T) {
+	if _, err := Significance(quickCfg(), "nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	res, err := Significance(quickCfg(), "sylhet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dataset != "Syhlet" {
+		t.Fatalf("dataset %s", res.Dataset)
+	}
+}

@@ -1,0 +1,141 @@
+// Package tables reproduces every table of the paper's evaluation section:
+//
+//	Table I   — per-class feature distribution of the Pima dataset
+//	Table II  — Hamming and Sequential NN testing accuracy (features vs
+//	            hypervectors) on Pima R / Pima M / Syhlet
+//	Table III — 10-fold CV accuracy of 9 ML models × features/hypervectors
+//	Table IV  — test metrics on Pima M (90/10 split)
+//	Table V   — test metrics on Syhlet (90/10 split) + Hamming reference
+//
+// Each Table function returns a structured result; the Render functions
+// print it in the paper's layout. cmd/hdbench wires them to a CLI and the
+// repository-root benchmarks time them.
+//
+// Following the paper, the hypervector representation for Tables III-V is
+// produced by encoding the dataset once (feature min/max only — labels
+// never enter the encoding) and handing the encoded matrix to the models
+// under the same validation protocol as the raw features. The core
+// package's Pipeline offers strictly per-fold encoding for users who want
+// it.
+package tables
+
+import (
+	"hdfe/internal/dataset"
+	"hdfe/internal/encode"
+	"hdfe/internal/ml"
+	"hdfe/internal/ml/boost"
+	"hdfe/internal/ml/forest"
+	"hdfe/internal/ml/knn"
+	"hdfe/internal/ml/linear"
+	"hdfe/internal/ml/svm"
+	"hdfe/internal/ml/tree"
+	"hdfe/internal/synth"
+)
+
+// Config tunes experiment scale. The zero value reproduces the paper:
+// D = 10,000, 10 folds, 10 NN trials, full-size ensembles.
+type Config struct {
+	// Seed drives dataset synthesis, encoding, splits and model seeds.
+	Seed uint64
+	// Dim is the hypervector dimensionality (0 = 10,000).
+	Dim int
+	// Folds for cross-validation (0 = 10).
+	Folds int
+	// Trials for the repeated NN experiment (0 = 10).
+	Trials int
+	// Quick shrinks ensembles and epochs for smoke tests and CI.
+	Quick bool
+}
+
+func (c Config) normalized() Config {
+	if c.Dim == 0 {
+		c.Dim = encode.DefaultDim
+	}
+	if c.Folds == 0 {
+		c.Folds = 10
+	}
+	if c.Trials == 0 {
+		c.Trials = 10
+	}
+	return c
+}
+
+// Datasets bundles the three evaluation datasets.
+type Datasets struct {
+	PimaR  *dataset.Dataset
+	PimaM  *dataset.Dataset
+	Sylhet *dataset.Dataset
+}
+
+// LoadDatasets synthesizes the three datasets from one seed.
+func LoadDatasets(seed uint64) Datasets {
+	return Datasets{
+		PimaR:  synth.PimaR(seed),
+		PimaM:  synth.PimaM(seed),
+		Sylhet: synth.Sylhet(synth.DefaultSylhetConfig(seed)),
+	}
+}
+
+// List returns the datasets in the paper's column order with their names.
+func (d Datasets) List() []*dataset.Dataset {
+	return []*dataset.Dataset{d.PimaR, d.PimaM, d.Sylhet}
+}
+
+// ModelSpec names one comparison model and builds fresh instances.
+type ModelSpec struct {
+	// Name as printed in the paper's tables.
+	Name string
+	// New returns an untrained instance; seed varies per fold/trial.
+	New func(seed uint64) ml.Classifier
+}
+
+// Zoo returns the paper's nine ML comparison models (Table III order) with
+// their reference hyperparameters. Quick mode shrinks ensemble sizes so
+// smoke tests stay fast; the algorithms are unchanged.
+func Zoo(cfg Config) []ModelSpec {
+	cfg = cfg.normalized()
+	trees := 100
+	rounds := 100
+	catRounds := 200
+	if cfg.Quick {
+		trees, rounds, catRounds = 15, 15, 20
+	}
+	return []ModelSpec{
+		{Name: "Random Forest", New: func(seed uint64) ml.Classifier {
+			return forest.New(forest.Params{NumTrees: trees, Seed: seed})
+		}},
+		{Name: "KNN", New: func(seed uint64) ml.Classifier {
+			return knn.New(5)
+		}},
+		{Name: "Decision Tree", New: func(seed uint64) ml.Classifier {
+			return tree.New(tree.Params{Seed: seed})
+		}},
+		{Name: "XGBoost", New: func(seed uint64) ml.Classifier {
+			return boost.New(boost.Params{
+				Style: boost.LevelWise, Rounds: rounds, LearningRate: 0.3,
+				MaxDepth: 6, Lambda: 1, MinChildWeight: 1, Subsample: 1, Seed: seed,
+			})
+		}},
+		{Name: "CatBoost", New: func(seed uint64) ml.Classifier {
+			return boost.New(boost.Params{
+				Style: boost.Oblivious, Rounds: catRounds, LearningRate: 0.1,
+				MaxDepth: 6, Lambda: 3, MinChildWeight: 1, Subsample: 1, Seed: seed,
+			})
+		}},
+		{Name: "SGD", New: func(seed uint64) ml.Classifier {
+			return linear.NewSGD(seed)
+		}},
+		{Name: "Logistic Regression", New: func(seed uint64) ml.Classifier {
+			return linear.NewLogisticRegression()
+		}},
+		{Name: "SVC", New: func(seed uint64) ml.Classifier {
+			return svm.New(svm.Params{})
+		}},
+		{Name: "LGBM", New: func(seed uint64) ml.Classifier {
+			return boost.New(boost.Params{
+				Style: boost.LeafWise, Rounds: rounds, LearningRate: 0.1,
+				MaxLeaves: 31, Lambda: 1, MinChildWeight: 1e-3, Subsample: 1, Seed: seed,
+			})
+		}},
+	}
+}

@@ -1,0 +1,159 @@
+package tables
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps the smoke-test experiments small: low dimensionality,
+// few folds/trials, shrunken ensembles. The full-scale run is exercised by
+// cmd/hdbench and the repository benchmarks.
+func quickCfg() Config {
+	return Config{Seed: 1, Dim: 512, Folds: 4, Trials: 2, Quick: true}
+}
+
+func TestLoadDatasetsShapes(t *testing.T) {
+	ds := LoadDatasets(1)
+	if ds.PimaR.Len() != 392 || ds.PimaM.Len() != 768 || ds.Sylhet.Len() != 520 {
+		t.Fatalf("dataset sizes %d/%d/%d", ds.PimaR.Len(), ds.PimaM.Len(), ds.Sylhet.Len())
+	}
+	if len(ds.List()) != 3 {
+		t.Fatal("List length")
+	}
+}
+
+func TestZooHasNineModels(t *testing.T) {
+	zoo := Zoo(quickCfg())
+	if len(zoo) != 9 {
+		t.Fatalf("zoo has %d models, want 9", len(zoo))
+	}
+	want := []string{"Random Forest", "KNN", "Decision Tree", "XGBoost",
+		"CatBoost", "SGD", "Logistic Regression", "SVC", "LGBM"}
+	for i, m := range zoo {
+		if m.Name != want[i] {
+			t.Fatalf("zoo[%d] = %q, want %q", i, m.Name, want[i])
+		}
+		if m.New(1) == nil {
+			t.Fatalf("%s factory returned nil", m.Name)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	res := Table1(quickCfg())
+	if len(res.Summaries) != 8 {
+		t.Fatalf("%d summaries, want 8", len(res.Summaries))
+	}
+	var buf bytes.Buffer
+	RenderTable1(&buf, res)
+	out := buf.String()
+	for _, name := range []string{"Glucose", "BMI", "Age", "DPF"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("rendered Table I missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	res, err := Table2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DatasetNames) != 3 || len(res.Hamming) != 3 ||
+		len(res.NNFeatures) != 3 || len(res.NNHyper) != 3 {
+		t.Fatalf("result shape %+v", res)
+	}
+	for i, name := range res.DatasetNames {
+		for _, v := range []float64{res.Hamming[i], res.NNFeatures[i], res.NNHyper[i]} {
+			if math.IsNaN(v) || v < 0.3 || v > 1 {
+				t.Fatalf("%s: implausible accuracy %v", name, v)
+			}
+		}
+	}
+	// Shape check even at quick scale: Sylhet Hamming is far stronger
+	// than Pima R Hamming (paper: 95.9% vs 70.7%).
+	if res.Hamming[2] <= res.Hamming[0] {
+		t.Fatalf("Sylhet Hamming %v should exceed Pima R %v", res.Hamming[2], res.Hamming[0])
+	}
+	var buf bytes.Buffer
+	RenderTable2(&buf, res)
+	if !strings.Contains(buf.String(), "Sequential NN") {
+		t.Fatal("render missing NN row")
+	}
+}
+
+func TestTable3Quick(t *testing.T) {
+	res, err := Table3(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ModelNames) != 9 || len(res.DatasetNames) != 3 {
+		t.Fatalf("shape %dx%d", len(res.ModelNames), len(res.DatasetNames))
+	}
+	for mi, model := range res.ModelNames {
+		if len(res.Cells[mi]) != 3 {
+			t.Fatalf("%s has %d cells", model, len(res.Cells[mi]))
+		}
+		for di, cell := range res.Cells[mi] {
+			for _, v := range []float64{cell.Features, cell.Hyper} {
+				if math.IsNaN(v) || v < 0.3 || v > 1 {
+					t.Fatalf("%s on %s: implausible score %v", model, res.DatasetNames[di], v)
+				}
+			}
+		}
+	}
+	var buf bytes.Buffer
+	RenderTable3(&buf, res)
+	if !strings.Contains(buf.String(), "Random Forest") {
+		t.Fatal("render missing model row")
+	}
+}
+
+func TestTable4And5Quick(t *testing.T) {
+	t4, err := Table4(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t4.Dataset != "Pima M" || len(t4.Rows) != 9 || t4.Hamming != nil {
+		t.Fatalf("Table IV shape: %s, %d rows, hamming=%v", t4.Dataset, len(t4.Rows), t4.Hamming)
+	}
+	t5, err := Table5(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t5.Dataset != "Syhlet" || len(t5.Rows) != 9 || t5.Hamming == nil {
+		t.Fatalf("Table V shape: %s, %d rows, hamming=%v", t5.Dataset, len(t5.Rows), t5.Hamming)
+	}
+	// Sylhet accuracies should dominate Pima M broadly (paper shape).
+	var meanPima, meanSylhet float64
+	for i := range t4.Rows {
+		meanPima += t4.Rows[i].Features.Accuracy + t4.Rows[i].Hyper.Accuracy
+		meanSylhet += t5.Rows[i].Features.Accuracy + t5.Rows[i].Hyper.Accuracy
+	}
+	if meanSylhet <= meanPima {
+		t.Fatalf("mean Sylhet accuracy %v should exceed Pima M %v", meanSylhet/18, meanPima/18)
+	}
+	var buf bytes.Buffer
+	RenderTestMetrics(&buf, "Table V", t5)
+	if !strings.Contains(buf.String(), "Hamming (LOO)") {
+		t.Fatal("Table V render missing Hamming row")
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	c := Config{}.normalized()
+	if c.Dim != 10000 || c.Folds != 10 || c.Trials != 10 {
+		t.Fatalf("defaults %+v", c)
+	}
+}
+
+func TestRenderPctHelpers(t *testing.T) {
+	if pct(0.5) != "50.0%" || pct(math.NaN()) != "-" {
+		t.Fatal("pct wrong")
+	}
+	if ratio(0.1234) != "0.123" || ratio(math.NaN()) != "-" {
+		t.Fatal("ratio wrong")
+	}
+}
