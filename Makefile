@@ -1,0 +1,24 @@
+# Tier-1 entry points for hdfe. `make test` is the gate every change must
+# pass; `make test-race` adds the concurrent-serving suite under the race
+# detector; `make bench` tracks the zero-allocation encode/score path.
+
+GO ?= go
+
+.PHONY: all fmt vet test test-race bench
+
+all: fmt vet test
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+test-race:
+	$(GO) test -race ./internal/core ./internal/ml/hamming ./internal/hv ./internal/encode ./internal/eval
+
+bench:
+	$(GO) test ./internal/core -run '^$$' -bench 'TransformRecord|ScoreBatch' -benchmem

@@ -16,21 +16,15 @@ import (
 )
 
 func main() {
-	// "Historical records": the Pima M cohort.
+	// "Historical records": the Pima M cohort, packaged as the shippable
+	// deployment (fitted codebook + bundled class prototypes).
 	cohort := synth.PimaM(42)
-	ext := core.NewExtractor(core.Options{Seed: 1})
-	if err := ext.FitDataset(cohort); err != nil {
+	dep, err := core.BuildDeployment(core.SpecsFor(cohort.Features), cohort.X, cohort.Y,
+		core.Options{Seed: 1, Tie: hv.TieToOne})
+	if err != nil {
 		log.Fatal(err)
 	}
-	vs := ext.Transform(cohort.X)
-
-	// Bundle class prototypes from the cohort.
-	accs := [2]*hv.Accumulator{hv.NewAccumulator(ext.Dim()), hv.NewAccumulator(ext.Dim())}
-	for i, v := range vs {
-		accs[cohort.Y[i]].Add(v)
-	}
-	negProto := accs[0].Majority(hv.TieToOne)
-	posProto := accs[1].Majority(hv.TieToOne)
+	ext := dep.Extractor
 
 	// Two walk-in patients (feature order: Pregnancies, Glucose,
 	// BloodPressure, SkinThickness, Insulin, BMI, DPF, Age).
@@ -43,10 +37,9 @@ func main() {
 	}
 
 	for _, p := range patients {
-		record := ext.TransformRecord(p.row)
-		score := core.ClassAffinity(record, negProto, posProto)
 		fmt.Printf("%s\n", p.name)
-		fmt.Printf("  HDC risk score: %.3f (0 = like non-diabetic cohort, 1 = like diabetic cohort)\n", score)
+		fmt.Printf("  HDC risk score: %.3f (0 = like non-diabetic cohort, 1 = like diabetic cohort)\n",
+			dep.Score(p.row))
 		fmt.Println("  dominant measurements in this patient's representation:")
 		for i, c := range ext.ExplainRecord(p.row) {
 			if i == 3 {
@@ -57,11 +50,13 @@ func main() {
 		fmt.Println()
 	}
 
+	// Bulk traffic goes through ScoreBatch: one encode scratch per worker,
+	// no per-record allocation.
 	fmt.Println("Risk scores across the cohort (sanity check):")
+	scores := dep.ScoreBatch(cohort.X)
 	var meanNeg, meanPos float64
 	neg, pos := 0, 0
-	for i, v := range vs {
-		s := core.ClassAffinity(v, negProto, posProto)
+	for i, s := range scores {
 		if cohort.Y[i] == 1 {
 			meanPos += s
 			pos++

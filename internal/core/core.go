@@ -101,6 +101,15 @@ func (e *Extractor) Transform(X [][]float64) []hv.Vector {
 	return e.cb.EncodeAll(X)
 }
 
+// TransformInto encodes rows into dst (grown if nil/short, vectors reused
+// in place), with one encode scratch per worker. This is the batch serving
+// primitive: steady-state calls with a recycled dst allocate nothing
+// beyond the worker fan-out.
+func (e *Extractor) TransformInto(X [][]float64, dst []hv.Vector) []hv.Vector {
+	e.mustFit()
+	return e.cb.EncodeAllInto(X, dst)
+}
+
 // TransformFloats encodes rows into 0/1 float matrices for downstream ML
 // models (the paper's hybrid representation).
 func (e *Extractor) TransformFloats(X [][]float64) [][]float64 {
@@ -108,10 +117,24 @@ func (e *Extractor) TransformFloats(X [][]float64) [][]float64 {
 	return e.cb.EncodeAllFloats(X)
 }
 
+// TransformFloatsInto is TransformFloats with caller-recycled row storage.
+func (e *Extractor) TransformFloatsInto(X [][]float64, dst [][]float64) [][]float64 {
+	e.mustFit()
+	return e.cb.EncodeAllFloatsInto(X, dst)
+}
+
 // TransformRecord encodes a single record.
 func (e *Extractor) TransformRecord(row []float64) hv.Vector {
 	e.mustFit()
 	return e.cb.EncodeRecord(row)
+}
+
+// TransformRecordInto encodes a single record into dst using the caller's
+// scratch, with zero allocations. See encode.Codebook.EncodeRecordInto for
+// the ownership rules (caller-owned dst, one scratch per goroutine).
+func (e *Extractor) TransformRecordInto(row []float64, dst hv.Vector, s *hv.Scratch) {
+	e.mustFit()
+	e.cb.EncodeRecordInto(row, dst, s)
 }
 
 // Codebook exposes the fitted codebook for inspection.

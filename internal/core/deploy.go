@@ -7,6 +7,7 @@ import (
 
 	"hdfe/internal/encode"
 	"hdfe/internal/hv"
+	"hdfe/internal/parallel"
 )
 
 // Deployment is the complete, shippable state of the pure-HDC clinical
@@ -36,8 +37,46 @@ func BuildDeployment(specs []encode.Spec, X [][]float64, y []int, opts Options) 
 }
 
 // Score encodes one patient record and returns its risk score in [0, 1].
+// It is safe for concurrent use: the fitted codebook is read-only and the
+// encode scratch comes from a pool, so serving endpoints can call Score
+// (and ScoreBatch) from many goroutines on one shared Deployment.
 func (d *Deployment) Score(row []float64) float64 {
-	return ClassAffinity(d.Extractor.TransformRecord(row), d.NegProto, d.PosProto)
+	s := hv.GetScratch(d.Extractor.Dim())
+	score := d.scoreWithScratch(row, s)
+	hv.PutScratch(s)
+	return score
+}
+
+// scoreWithScratch encodes row into the scratch's record buffer and scores
+// it against the prototypes — the zero-allocation core of Score/ScoreBatch.
+func (d *Deployment) scoreWithScratch(row []float64, s *hv.Scratch) float64 {
+	rec := s.Rec()
+	d.Extractor.TransformRecordInto(row, rec, s)
+	return ClassAffinity(rec, d.NegProto, d.PosProto)
+}
+
+// ScoreBatch scores many patient records at once, fanning rows out across
+// workers with one encode scratch per worker. It is the serving primitive
+// for bulk traffic: steady-state throughput allocates only the returned
+// slice (use ScoreBatchInto to recycle that too). Safe for concurrent use.
+func (d *Deployment) ScoreBatch(rows [][]float64) []float64 {
+	return d.ScoreBatchInto(rows, nil)
+}
+
+// ScoreBatchInto is ScoreBatch writing into dst (allocated if nil/short).
+func (d *Deployment) ScoreBatchInto(rows [][]float64, dst []float64) []float64 {
+	if cap(dst) < len(rows) {
+		dst = make([]float64, len(rows))
+	}
+	dst = dst[:len(rows)]
+	parallel.ForChunked(len(rows), func(lo, hi int) {
+		s := hv.GetScratch(d.Extractor.Dim())
+		defer hv.PutScratch(s)
+		for i := lo; i < hi; i++ {
+			dst[i] = d.scoreWithScratch(rows[i], s)
+		}
+	})
+	return dst
 }
 
 // Predict thresholds Score at 0.5.

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hdfe/internal/hv"
+	"hdfe/internal/synth"
+)
+
+// TestDeploymentConcurrentScoring guards the concurrency promise of the
+// serving path: a single fitted Deployment may be hit by Score, ScoreBatch
+// and TransformRecordInto from many goroutines at once (each with its own
+// scratch), because fitted encoders are immutable and all mutable state is
+// per-worker. Run under -race (see Makefile test-race target) to make the
+// guarantee mean something.
+func TestDeploymentConcurrentScoring(t *testing.T) {
+	d := synth.PimaR(42)
+	dep, err := BuildDeployment(SpecsFor(d.Features), d.X, d.Y, Options{Dim: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial reference scores.
+	want := make([]float64, len(d.X))
+	for i, row := range d.X {
+		want[i] = dep.Score(row)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			switch g % 3 {
+			case 0: // single-record scoring
+				for i, row := range d.X {
+					if got := dep.Score(row); got != want[i] {
+						errc <- fmt.Errorf("goroutine %d: Score(%d) = %v, want %v", g, i, got, want[i])
+						return
+					}
+				}
+			case 1: // batch scoring
+				got := dep.ScoreBatch(d.X)
+				for i := range got {
+					if got[i] != want[i] {
+						errc <- fmt.Errorf("goroutine %d: ScoreBatch[%d] = %v, want %v", g, i, got[i], want[i])
+						return
+					}
+				}
+			case 2: // raw encode path with a private scratch
+				s := hv.NewScratch(dep.Extractor.Dim())
+				dst := hv.New(dep.Extractor.Dim())
+				for _, row := range d.X[:64] {
+					dep.Extractor.TransformRecordInto(row, dst, s)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

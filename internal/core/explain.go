@@ -31,10 +31,13 @@ func (e *Extractor) ExplainRecord(row []float64) []FeatureContribution {
 	if len(row) < cb.NumFeatures() {
 		panic(fmt.Sprintf("core: record has %d values for %d features", len(row), cb.NumFeatures()))
 	}
-	record := cb.EncodeRecord(row)
+	s := hv.GetScratch(cb.Dim())
+	defer hv.PutScratch(s)
+	record, fvec := s.Rec(), s.Vec()
+	cb.EncodeRecordInto(row, record, s)
 	out := make([]FeatureContribution, cb.NumFeatures())
 	for j, spec := range cb.Specs() {
-		fvec := cb.EncodeFeature(j, row[j])
+		cb.Feature(j).EncodeInto(row[j], fvec)
 		out[j] = FeatureContribution{
 			Name:       spec.Name,
 			Value:      row[j],

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is on; it instruments
+// allocations, so allocation-count tests cannot hold under -race.
+const raceEnabled = true

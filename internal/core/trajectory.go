@@ -28,9 +28,21 @@ func EncodeVisits(e *Extractor, visits [][]float64, tie hv.TieBreak) hv.Vector {
 	if len(visits) == 0 {
 		panic("core: EncodeVisits with no visits")
 	}
-	acc := hv.NewAccumulator(e.Dim())
+	// Two scratches: one for the per-visit record encode, one whose record
+	// buffer holds the permuted copy and whose accumulator bundles the
+	// history. The record encode fully owns s.Vec()/s.Acc() per visit, so
+	// the history accumulator must live in a second scratch.
+	s := hv.GetScratch(e.Dim())
+	hist := hv.GetScratch(e.Dim())
+	defer hv.PutScratch(s)
+	defer hv.PutScratch(hist)
+	rec, perm := s.Rec(), hist.Rec()
+	acc := hist.Acc()
+	acc.Reset()
 	for t, visit := range visits {
-		acc.Add(hv.Permute(e.TransformRecord(visit), t))
+		e.TransformRecordInto(visit, rec, s)
+		hv.PermuteInto(perm, rec, t)
+		acc.Add(perm)
 	}
 	return acc.Majority(tie)
 }
@@ -55,10 +67,14 @@ func RiskTrajectory(e *Extractor, visits [][]float64, negProto, posProto hv.Vect
 		panic(fmt.Sprintf("core: prototype dim %d/%d, extractor dim %d",
 			negProto.Dim(), posProto.Dim(), e.Dim()))
 	}
+	s := hv.GetScratch(e.Dim())
+	defer hv.PutScratch(s)
+	rec := s.Rec()
 	out := make([]RiskPoint, len(visits))
 	prev := 0.0
 	for t, visit := range visits {
-		score := ClassAffinity(e.TransformRecord(visit), negProto, posProto)
+		e.TransformRecordInto(visit, rec, s)
+		score := ClassAffinity(rec, negProto, posProto)
 		delta := 0.0
 		if t > 0 {
 			delta = score - prev

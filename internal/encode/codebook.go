@@ -175,37 +175,98 @@ func (c *Codebook) EncodeFeature(j int, t float64) hv.Vector { return c.encs[j].
 
 // EncodeRecord encodes one record (a full feature row) into its patient
 // hypervector: encode each feature, then combine per the codebook's mode.
+// It is the allocating wrapper around EncodeRecordInto; a pooled scratch
+// keeps its steady-state cost to the returned vector only.
 func (c *Codebook) EncodeRecord(row []float64) hv.Vector {
+	out := hv.New(c.dim)
+	s := hv.GetScratch(c.dim)
+	c.EncodeRecordInto(row, out, s)
+	hv.PutScratch(s)
+	return out
+}
+
+// EncodeRecordInto encodes one record into dst with zero allocations: each
+// feature codeword is materialized in the scratch's feature buffer (a
+// word-copy plus, for level encoders, in-place bit flips), accumulated,
+// and majority-combined directly into dst. dst is caller-owned and fully
+// overwritten; s is exclusive to the caller for the duration of the call
+// (one scratch per worker in batch loops). dst must not alias s.Vec().
+func (c *Codebook) EncodeRecordInto(row []float64, dst hv.Vector, s *hv.Scratch) {
 	if len(row) < len(c.encs) {
 		panic(fmt.Sprintf("encode: record has %d values for %d features", len(row), len(c.encs)))
 	}
-	acc := hv.NewAccumulator(c.dim)
+	if s.Dim() != c.dim {
+		panic(fmt.Sprintf("encode: scratch dim %d, codebook dim %d", s.Dim(), c.dim))
+	}
+	fv := s.Vec()
+	acc := s.Acc()
+	acc.Reset()
 	for j, enc := range c.encs {
-		fv := enc.Encode(row[j])
+		enc.EncodeInto(row[j], fv)
 		if c.mode == BindBundle {
 			hv.XorInPlace(fv, c.roles[j])
 		}
 		acc.Add(fv)
 	}
-	return acc.Majority(c.tie)
+	acc.MajorityInto(c.tie, dst)
 }
 
 // EncodeAll encodes every row of X in parallel and returns the patient
 // hypervectors in row order.
 func (c *Codebook) EncodeAll(X [][]float64) []hv.Vector {
-	out := make([]hv.Vector, len(X))
-	parallel.For(len(X), func(i int) {
-		out[i] = c.EncodeRecord(X[i])
+	return c.EncodeAllInto(X, nil)
+}
+
+// EncodeAllInto encodes every row of X in parallel into dst, reusing one
+// scratch (feature buffer + accumulator) per worker across all rows of its
+// chunk. dst is grown if nil/short; dst vectors of the right
+// dimensionality are reused in place, so steady-state batch encoding into
+// a recycled dst allocates nothing beyond the worker fan-out.
+func (c *Codebook) EncodeAllInto(X [][]float64, dst []hv.Vector) []hv.Vector {
+	if cap(dst) < len(X) {
+		grown := make([]hv.Vector, len(X))
+		copy(grown, dst[:cap(dst)])
+		dst = grown
+	}
+	dst = dst[:len(X)]
+	parallel.ForChunked(len(X), func(lo, hi int) {
+		s := hv.GetScratch(c.dim)
+		defer hv.PutScratch(s)
+		for i := lo; i < hi; i++ {
+			if dst[i].Dim() != c.dim {
+				dst[i] = hv.New(c.dim)
+			}
+			c.EncodeRecordInto(X[i], dst[i], s)
+		}
 	})
-	return out
+	return dst
 }
 
 // EncodeAllFloats encodes every row and converts each hypervector to a 0/1
 // float64 row — the input format the hybrid HDC+ML models consume.
 func (c *Codebook) EncodeAllFloats(X [][]float64) [][]float64 {
-	out := make([][]float64, len(X))
-	parallel.For(len(X), func(i int) {
-		out[i] = c.EncodeRecord(X[i]).Floats(nil)
+	return c.EncodeAllFloatsInto(X, nil)
+}
+
+// EncodeAllFloatsInto is EncodeAllFloats with caller-recycled row storage:
+// rows of dst with capacity c.Dim() are reused in place. Each worker
+// encodes into its scratch's record buffer and expands to floats, so no
+// per-row hypervector is allocated.
+func (c *Codebook) EncodeAllFloatsInto(X [][]float64, dst [][]float64) [][]float64 {
+	if cap(dst) < len(X) {
+		grown := make([][]float64, len(X))
+		copy(grown, dst[:cap(dst)])
+		dst = grown
+	}
+	dst = dst[:len(X)]
+	parallel.ForChunked(len(X), func(lo, hi int) {
+		s := hv.GetScratch(c.dim)
+		defer hv.PutScratch(s)
+		rec := s.Rec()
+		for i := lo; i < hi; i++ {
+			c.EncodeRecordInto(X[i], rec, s)
+			dst[i] = rec.Floats(dst[i])
+		}
 	})
-	return out
+	return dst
 }

@@ -6,6 +6,23 @@
 //
 // Encoders are fitted on training data only (min/max per feature) and are
 // deterministic given an rng.Source, so experiments reproduce exactly.
+//
+// # Missing values and thresholds
+//
+// Every encoder in this package follows one NaN/threshold contract:
+//
+//   - NaN (a missing cell that survived the dataset's missing-value
+//     policy) always encodes as the encoder's baseline codeword — the seed
+//     for LevelEncoder, the low codeword for BinaryEncoder. NaN is never
+//     treated as high, large, or out of range.
+//   - BinaryEncoder maps t to high iff t > midpoint (strictly greater); the
+//     midpoint itself and everything below maps low. This makes 0/1, 1/2
+//     and any other two-level coding work without preprocessing.
+//   - LevelEncoder clamps: values below min encode as the seed, values
+//     above max as the seed with D/2 flips (the max codeword).
+//
+// Implementations must uphold this contract so record encodings of sparse
+// rows stay well-defined; TestNaNContract pins it.
 package encode
 
 import (
@@ -17,10 +34,18 @@ import (
 )
 
 // FeatureEncoder maps one scalar feature value to a hypervector.
+//
+// Encoders are immutable after construction: both Encode and EncodeInto
+// must be safe for concurrent use, which is what lets batch encoding and
+// serving fan out over a single fitted codebook with per-worker scratch.
 type FeatureEncoder interface {
-	// Encode returns the hypervector for value t. Implementations must be
-	// safe for concurrent use after construction.
+	// Encode returns the hypervector for value t.
 	Encode(t float64) hv.Vector
+	// EncodeInto writes the hypervector for value t into dst without
+	// allocating, fully overwriting it. dst is caller-owned and must have
+	// the encoder's dimensionality (implementations panic otherwise).
+	// This is the hot-path form: Encode is a thin allocating wrapper.
+	EncodeInto(t float64, dst hv.Vector)
 	// Dim returns the dimensionality of produced hypervectors.
 	Dim() int
 }
@@ -75,6 +100,12 @@ func (e *LevelEncoder) Range() (min, max float64) { return e.min, e.max }
 // min map to 0 (the seed represents "min or lower"); values above max map
 // to D/2. A degenerate range (max == min) always maps to 0.
 func (e *LevelEncoder) Flips(t float64) int {
+	if math.IsNaN(t) {
+		// Package contract: missing values encode as the baseline (seed).
+		// Without this guard the int conversion of NaN below would be
+		// platform-defined.
+		return 0
+	}
 	if e.max == e.min {
 		return 0
 	}
@@ -90,17 +121,25 @@ func (e *LevelEncoder) Flips(t float64) int {
 
 // Encode returns the hypervector for value t.
 func (e *LevelEncoder) Encode(t float64) hv.Vector {
+	v := hv.New(e.dim)
+	e.EncodeInto(t, v)
+	return v
+}
+
+// EncodeInto writes the hypervector for value t into dst without
+// allocating: a word-copy of the seed followed by the value's balanced
+// bit flips, applied directly in dst.
+func (e *LevelEncoder) EncodeInto(t float64, dst hv.Vector) {
 	x := e.Flips(t)
-	v := e.seed.Clone()
+	e.seed.CopyInto(dst)
 	fromOnes := x / 2
 	fromZeros := x - fromOnes
 	for _, p := range e.flipOnes[:fromOnes] {
-		v.FlipBit(p)
+		dst.FlipBit(p)
 	}
 	for _, p := range e.flipZeros[:fromZeros] {
-		v.FlipBit(p)
+		dst.FlipBit(p)
 	}
-	return v
 }
 
 // Seed returns (a copy of) the encoder's seed hypervector.
@@ -136,11 +175,22 @@ func (e *BinaryEncoder) Dim() int { return e.dim }
 func (e *BinaryEncoder) Midpoint() float64 { return e.midpoint }
 
 // Encode returns the high hypervector if t > midpoint, else the low one.
+// Per the package contract, NaN (missing) encodes low: a comparison with
+// NaN is never true, and the explicit guard documents that this is by
+// design, not an accident of float ordering.
 func (e *BinaryEncoder) Encode(t float64) hv.Vector {
-	if t > e.midpoint {
-		return e.high.Clone()
+	v := hv.New(e.dim)
+	e.EncodeInto(t, v)
+	return v
+}
+
+// EncodeInto writes the codeword for t into dst without allocating.
+func (e *BinaryEncoder) EncodeInto(t float64, dst hv.Vector) {
+	if math.IsNaN(t) || t <= e.midpoint {
+		e.low.CopyInto(dst)
+		return
 	}
-	return e.low.Clone()
+	e.high.CopyInto(dst)
 }
 
 // Low and High return copies of the two codeword hypervectors.
@@ -158,5 +208,8 @@ func NewConstantEncoder(v hv.Vector) *ConstantEncoder { return &ConstantEncoder{
 // Dim returns the hypervector dimensionality.
 func (e *ConstantEncoder) Dim() int { return e.v.Dim() }
 
-// Encode returns the pinned hypervector for any input.
+// Encode returns the pinned hypervector for any input (including NaN).
 func (e *ConstantEncoder) Encode(float64) hv.Vector { return e.v.Clone() }
+
+// EncodeInto writes the pinned hypervector into dst without allocating.
+func (e *ConstantEncoder) EncodeInto(_ float64, dst hv.Vector) { e.v.CopyInto(dst) }

@@ -7,22 +7,35 @@ package eval
 
 import (
 	"fmt"
-	"sync"
 
 	"hdfe/internal/dataset"
 	"hdfe/internal/metrics"
 	"hdfe/internal/ml"
+	"hdfe/internal/parallel"
 )
 
 // Select gathers the given rows of X and y into dense slices.
 func Select(X [][]float64, y []int, idx []int) ([][]float64, []int) {
-	sx := make([][]float64, len(idx))
-	sy := make([]int, len(idx))
-	for i, r := range idx {
-		sx[i] = X[r]
-		sy[i] = y[r]
+	return SelectInto(X, y, idx, nil, nil)
+}
+
+// SelectInto is Select writing into caller-recycled slices (grown if
+// nil/short). Leave-one-out over n records runs n folds whose train sets
+// are each n-1 rows; recycling one pair of buffers per worker turns that
+// from O(n²) slice-header churn into O(workers·n).
+func SelectInto(X [][]float64, y []int, idx []int, dstX [][]float64, dstY []int) ([][]float64, []int) {
+	if cap(dstX) < len(idx) {
+		dstX = make([][]float64, len(idx))
 	}
-	return sx, sy
+	if cap(dstY) < len(idx) {
+		dstY = make([]int, len(idx))
+	}
+	dstX, dstY = dstX[:len(idx)], dstY[:len(idx)]
+	for i, r := range idx {
+		dstX[i] = X[r]
+		dstY[i] = y[r]
+	}
+	return dstX, dstY
 }
 
 // TrainTest fits a fresh classifier on the train rows and returns its
@@ -56,25 +69,28 @@ func CrossValidate(f ml.Factory, X [][]float64, y []int, folds []dataset.Fold) (
 	}
 	results := make([]FoldResult, len(folds))
 	errs := make([]error, len(folds))
-	var wg sync.WaitGroup
-	for i := range folds {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+	// Folds run chunked with one set of selection buffers per worker,
+	// recycled fold to fold. This is safe because each fold's classifier
+	// is fitted, evaluated and abandoned strictly within its iteration:
+	// nothing reads a classifier (which may retain its training slice)
+	// after the worker has moved on and overwritten the buffers.
+	parallel.ForChunked(len(folds), func(lo, hi int) {
+		var trX, teX [][]float64
+		var trY, teY []int
+		for i := lo; i < hi; i++ {
 			fold := folds[i]
-			trX, trY := Select(X, y, fold.Train)
-			teX, teY := Select(X, y, fold.Test)
+			trX, trY = SelectInto(X, y, fold.Train, trX, trY)
+			teX, teY = SelectInto(X, y, fold.Test, teX, teY)
 			if err := clfs[i].Fit(trX, trY); err != nil {
 				errs[i] = fmt.Errorf("eval: fold %d fit: %w", i, err)
-				return
+				continue
 			}
 			results[i] = FoldResult{
 				Test:  metrics.NewConfusion(teY, clfs[i].Predict(teX)),
 				Train: metrics.NewConfusion(trY, clfs[i].Predict(trX)),
 			}
-		}(i)
-	}
-	wg.Wait()
+		}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -127,22 +143,22 @@ func Repeated(f ml.Factory, X [][]float64, y []int, trials int,
 	}
 	out := make([]metrics.Confusion, trials)
 	errs := make([]error, trials)
-	var wg sync.WaitGroup
-	for t := range jobs {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
+	// Same per-worker buffer recycling (and safety argument) as
+	// CrossValidate.
+	parallel.ForChunked(trials, func(lo, hi int) {
+		var trX, teX [][]float64
+		var trY, teY []int
+		for t := lo; t < hi; t++ {
 			j := jobs[t]
-			trX, trY := Select(X, y, j.train)
-			teX, teY := Select(X, y, j.test)
+			trX, trY = SelectInto(X, y, j.train, trX, trY)
+			teX, teY = SelectInto(X, y, j.test, teX, teY)
 			if err := j.clf.Fit(trX, trY); err != nil {
 				errs[t] = fmt.Errorf("eval: trial %d fit: %w", t, err)
-				return
+				continue
 			}
 			out[t] = metrics.NewConfusion(teY, j.clf.Predict(teX))
-		}(t)
-	}
-	wg.Wait()
+		}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -65,19 +65,37 @@ func Distances(query Vector, pool []Vector, dst []int) []int {
 		dst = make([]int, len(pool))
 	}
 	dst = dst[:len(pool)]
-	qw := query.words
 	parallel.ForChunked(len(pool), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			checkSameDim(query, pool[i])
-			pw := pool[i].words
-			d := 0
-			for k, x := range qw {
-				d += bits.OnesCount64(x ^ pw[k])
-			}
-			dst[i] = d
-		}
+		distancesRange(query, pool, dst, lo, hi)
 	})
 	return dst
+}
+
+// DistancesSerial is the single-goroutine form of Distances: it fills dst
+// (allocated if nil/short) on the calling goroutine only. Use it with a
+// per-worker dst inside loops that are already parallel — leave-one-out
+// and batch prediction recycle one dst slice per worker this way instead
+// of allocating (or nesting parallelism) per query.
+func DistancesSerial(query Vector, pool []Vector, dst []int) []int {
+	if cap(dst) < len(pool) {
+		dst = make([]int, len(pool))
+	}
+	dst = dst[:len(pool)]
+	distancesRange(query, pool, dst, 0, len(pool))
+	return dst
+}
+
+func distancesRange(query Vector, pool []Vector, dst []int, lo, hi int) {
+	qw := query.words
+	for i := lo; i < hi; i++ {
+		checkSameDim(query, pool[i])
+		pw := pool[i].words
+		d := 0
+		for k, x := range qw {
+			d += bits.OnesCount64(x ^ pw[k])
+		}
+		dst[i] = d
+	}
 }
 
 // Nearest returns the index of the pool vector closest to query under

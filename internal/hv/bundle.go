@@ -108,33 +108,55 @@ func (a *Accumulator) Remove(v Vector) {
 // weight had bit i set, with exact halves resolved by tie. It panics if
 // nothing has been added.
 func (a *Accumulator) Majority(tie TieBreak) Vector {
+	out := New(a.dim)
+	a.MajorityInto(tie, out)
+	return out
+}
+
+// MajorityInto writes the majority bundle into dst without allocating; dst
+// is fully overwritten. It panics on dimension mismatch or if nothing has
+// been added. This is the destination-passing form used by the
+// zero-allocation encode path.
+func (a *Accumulator) MajorityInto(tie TieBreak, dst Vector) {
 	if a.total == 0 {
 		panic("hv: Majority of empty accumulator")
 	}
-	out := New(a.dim)
+	if dst.dim != a.dim {
+		panic(fmt.Sprintf("hv: accumulator dim %d, dst dim %d", a.dim, dst.dim))
+	}
+	dst.Clear()
 	half2 := a.total // compare 2*count against total to stay in integers
 	for i, c := range a.counts {
 		twice := int(c) * 2
 		switch {
 		case twice > half2:
-			out.setBit(i)
+			dst.setBit(i)
 		case twice == half2 && tie == TieToOne:
-			out.setBit(i)
+			dst.setBit(i)
 		}
 	}
-	return out
 }
 
 // Threshold returns a vector whose bit i is 1 iff at least k of the added
 // weight had bit i set. Majority with an odd total is Threshold(total/2+1).
 func (a *Accumulator) Threshold(k int) Vector {
 	out := New(a.dim)
+	a.ThresholdInto(k, out)
+	return out
+}
+
+// ThresholdInto writes the k-threshold bundle into dst without allocating;
+// dst is fully overwritten. It panics on dimension mismatch.
+func (a *Accumulator) ThresholdInto(k int, dst Vector) {
+	if dst.dim != a.dim {
+		panic(fmt.Sprintf("hv: accumulator dim %d, dst dim %d", a.dim, dst.dim))
+	}
+	dst.Clear()
 	for i, c := range a.counts {
 		if int(c) >= k {
-			out.setBit(i)
+			dst.setBit(i)
 		}
 	}
-	return out
 }
 
 // Reset clears the accumulator for reuse without reallocating.

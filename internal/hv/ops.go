@@ -46,6 +46,15 @@ func XorInPlace(a, b Vector) {
 	}
 }
 
+// XorInto sets dst = a ^ b without allocating. dst may alias a or b.
+func XorInto(dst, a, b Vector) {
+	checkSameDim(a, b)
+	checkSameDim(dst, a)
+	for i := range dst.words {
+		dst.words[i] = a.words[i] ^ b.words[i]
+	}
+}
+
 // And returns the elementwise AND of a and b.
 func And(a, b Vector) Vector {
 	checkSameDim(a, b)
@@ -80,18 +89,37 @@ func Not(v Vector) Vector {
 // is bit (i-k) mod D of v). Permutation is the HDC sequence/position
 // operator; it is distance preserving.
 func Permute(v Vector, k int) Vector {
+	out := New(v.dim)
+	PermuteInto(out, v, k)
+	return out
+}
+
+// PermuteInto writes v circularly rotated by k positions into dst without
+// allocating. dst must not alias v; it panics on dimension mismatch.
+func PermuteInto(dst, v Vector, k int) {
+	checkSameDim(dst, v)
+	if &dst.words[0] == &v.words[0] {
+		panic("hv: PermuteInto dst aliases src")
+	}
 	d := v.dim
 	k = ((k % d) + d) % d
 	if k == 0 {
-		return v.Clone()
+		copy(dst.words, v.words)
+		return
 	}
-	out := New(d)
-	for i := 0; i < d; i++ {
-		if v.Bit(i) {
-			out.setBit((i + k) % d)
+	dst.Clear()
+	for wi, w := range v.words {
+		base := wi * wordBits
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			p := base + b + k
+			if p >= d {
+				p -= d
+			}
+			dst.setBit(p)
+			w &= w - 1
 		}
 	}
-	return out
 }
 
 // FlipRandom flips count distinct randomly chosen bits of v in place,

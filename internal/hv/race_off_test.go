@@ -1,0 +1,5 @@
+//go:build !race
+
+package hv
+
+const raceEnabled = false

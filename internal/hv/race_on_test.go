@@ -1,0 +1,7 @@
+//go:build race
+
+package hv
+
+// raceEnabled reports whether the race detector is on; it randomizes
+// sync.Pool recycling, so allocation-count tests cannot hold under -race.
+const raceEnabled = true

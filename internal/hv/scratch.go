@@ -1,0 +1,84 @@
+package hv
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Scratch bundles the reusable working buffers of the zero-allocation
+// encode path: one feature-codeword vector, one record vector, and one
+// bundling accumulator, all sized for a single dimensionality. A Scratch is
+// owned by exactly one goroutine at a time — the parallel batch encoders
+// hold one per worker — and is never shared concurrently.
+//
+// Typical use (see encode.Codebook.EncodeRecordInto):
+//
+//	s := hv.GetScratch(dim)
+//	defer hv.PutScratch(s)
+//	cb.EncodeRecordInto(row, s.Rec(), s)
+//
+// The buffers returned by Vec, Rec and Acc alias the Scratch's storage:
+// their contents are overwritten by any operation that uses the Scratch, so
+// results that must outlive the next use have to be copied out (CopyInto).
+type Scratch struct {
+	dim int
+	vec Vector
+	rec Vector
+	acc *Accumulator
+}
+
+// NewScratch allocates a fresh scratch for dimensionality d. Prefer
+// GetScratch/PutScratch when the scratch's lifetime is a single call; keep
+// a NewScratch when a worker owns it for a whole batch.
+func NewScratch(d int) *Scratch {
+	if d <= 0 {
+		panic(fmt.Sprintf("hv: invalid scratch dimensionality %d", d))
+	}
+	return &Scratch{dim: d, vec: New(d), rec: New(d), acc: NewAccumulator(d)}
+}
+
+// Dim returns the dimensionality the scratch was sized for.
+func (s *Scratch) Dim() int { return s.dim }
+
+// Vec returns the per-feature codeword buffer.
+func (s *Scratch) Vec() Vector { return s.vec }
+
+// Rec returns the record-vector buffer (the natural dst for
+// EncodeRecordInto when the caller does not keep the record).
+func (s *Scratch) Rec() Vector { return s.rec }
+
+// Acc returns the bundling accumulator. Callers must Reset it before a
+// fresh bundle (the encode path does this for them).
+func (s *Scratch) Acc() *Accumulator { return s.acc }
+
+// scratchPools holds one sync.Pool of *Scratch per dimensionality. Real
+// workloads use one or two dimensionalities, so the map stays tiny.
+var scratchPools sync.Map // int -> *sync.Pool
+
+func poolFor(d int) *sync.Pool {
+	if p, ok := scratchPools.Load(d); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := scratchPools.LoadOrStore(d, &sync.Pool{
+		New: func() any { return NewScratch(d) },
+	})
+	return p.(*sync.Pool)
+}
+
+// GetScratch returns a scratch for dimensionality d from a process-wide
+// pool, allocating only when the pool is empty. Pair with PutScratch.
+func GetScratch(d int) *Scratch {
+	if d <= 0 {
+		panic(fmt.Sprintf("hv: invalid scratch dimensionality %d", d))
+	}
+	return poolFor(d).Get().(*Scratch)
+}
+
+// PutScratch returns s to the pool. The caller must not use s (or any
+// buffer obtained from it) afterwards. PutScratch(nil) is a no-op.
+func PutScratch(s *Scratch) {
+	if s == nil {
+		return
+	}
+	poolFor(s.dim).Put(s)
+}

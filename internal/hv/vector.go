@@ -119,6 +119,21 @@ func (v Vector) Clone() Vector {
 	return Vector{words: w, dim: v.dim}
 }
 
+// CopyInto copies v's bits into dst without allocating. It panics on
+// dimension mismatch. This is the destination-passing counterpart of Clone
+// and the base operation of the zero-allocation encode path.
+func (v Vector) CopyInto(dst Vector) {
+	checkSameDim(v, dst)
+	copy(dst.words, v.words)
+}
+
+// Clear sets every bit of v to zero, keeping the backing storage.
+func (v Vector) Clear() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
 // Bit reports whether logical bit i is set. It panics if i is out of range.
 func (v Vector) Bit(i int) bool {
 	v.checkIndex(i)

@@ -6,6 +6,7 @@ package hamming
 
 import (
 	"fmt"
+	"sort"
 
 	"hdfe/internal/hv"
 	"hdfe/internal/metrics"
@@ -51,26 +52,95 @@ func Fit(vs []hv.Vector, y []int, k int) *Model {
 // Predict returns the majority label among the k nearest stored vectors
 // (ties to 1; for k = 1 this is exactly the nearest neighbour's class).
 func (m *Model) Predict(v hv.Vector) int {
-	if m.k == 1 {
-		idx, _ := hv.Nearest(v, m.pool, -1)
-		return m.labels[idx]
-	}
-	idxs := hv.NearestK(v, m.pool, -1, m.k)
-	pos := 0
-	for _, i := range idxs {
-		pos += m.labels[i]
-	}
-	if 2*pos >= len(idxs) {
-		return 1
-	}
-	return 0
+	p, _ := m.predict(v, nil)
+	return p
 }
 
-// PredictAll labels each query vector in parallel.
+// predict is the scratch-reusing core of Predict: ds is the caller's
+// distance buffer (grown as needed) and is returned so per-worker batch
+// loops can recycle it across queries without allocating.
+func (m *Model) predict(v hv.Vector, ds []int) (int, []int) {
+	ds = hv.DistancesSerial(v, m.pool, ds)
+	if m.k == 1 {
+		best, bestDist := 0, ds[0]
+		for j, d := range ds {
+			if d < bestDist {
+				best, bestDist = j, d
+			}
+		}
+		return m.labels[best], ds
+	}
+	pos, n := m.voteK(ds)
+	if 2*pos >= n {
+		return 1, ds
+	}
+	return 0, ds
+}
+
+// voteK returns the number of positive labels among the k nearest stored
+// vectors (ties by index, matching hv.NearestK) and the neighbour count.
+// It keeps the running top-k in stack buffers so batch prediction stays
+// allocation-free for the k values classification uses (k up to 32; larger
+// k falls back to an allocating full selection).
+func (m *Model) voteK(ds []int) (pos, n int) {
+	var bestIdx, bestDist [32]int
+	if m.k > len(bestIdx) {
+		// Rare configuration: sort a (dist, idx) copy and take the head.
+		type cand struct{ dist, idx int }
+		cands := make([]cand, len(ds))
+		for i, d := range ds {
+			cands[i] = cand{d, i}
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].dist != cands[b].dist {
+				return cands[a].dist < cands[b].dist
+			}
+			return cands[a].idx < cands[b].idx
+		})
+		for _, c := range cands[:m.k] {
+			pos += m.labels[c.idx]
+		}
+		return pos, m.k
+	}
+	n = 0
+	for i, d := range ds {
+		// Insert (d, i) if it beats the current worst; iteration order is
+		// ascending i, so strict comparison keeps ties on the lower index.
+		if n < m.k {
+			j := n
+			for j > 0 && bestDist[j-1] > d {
+				bestDist[j], bestIdx[j] = bestDist[j-1], bestIdx[j-1]
+				j--
+			}
+			bestDist[j], bestIdx[j] = d, i
+			n++
+			continue
+		}
+		if d >= bestDist[n-1] {
+			continue
+		}
+		j := n - 1
+		for j > 0 && bestDist[j-1] > d {
+			bestDist[j], bestIdx[j] = bestDist[j-1], bestIdx[j-1]
+			j--
+		}
+		bestDist[j], bestIdx[j] = d, i
+	}
+	for j := 0; j < n; j++ {
+		pos += m.labels[bestIdx[j]]
+	}
+	return pos, n
+}
+
+// PredictAll labels each query vector in parallel, one distance buffer per
+// worker.
 func (m *Model) PredictAll(vs []hv.Vector) []int {
 	out := make([]int, len(vs))
-	parallel.For(len(vs), func(i int) {
-		out[i] = m.Predict(vs[i])
+	parallel.ForChunked(len(vs), func(lo, hi int) {
+		var ds []int
+		for i := lo; i < hi; i++ {
+			out[i], ds = m.predict(vs[i], ds)
+		}
 	})
 	return out
 }
@@ -80,15 +150,17 @@ func (m *Model) PredictAll(vs []hv.Vector) []int {
 // refined by relative distance to the nearest positive and negative
 // exemplars so AUC is meaningful.
 func (m *Model) Score(v hv.Vector) float64 {
+	s, _ := m.score(v, nil)
+	return s
+}
+
+// score is the scratch-reusing core of Score; see predict.
+func (m *Model) score(v hv.Vector, ds []int) (float64, []int) {
+	ds = hv.DistancesSerial(v, m.pool, ds)
 	if m.k > 1 {
-		idxs := hv.NearestK(v, m.pool, -1, m.k)
-		pos := 0
-		for _, i := range idxs {
-			pos += m.labels[i]
-		}
-		return float64(pos) / float64(len(idxs))
+		pos, n := m.voteK(ds)
+		return float64(pos) / float64(n), ds
 	}
-	ds := hv.Distances(v, m.pool, nil)
 	bestPos, bestNeg := -1, -1
 	for i, d := range ds {
 		if m.labels[i] == 1 {
@@ -103,21 +175,23 @@ func (m *Model) Score(v hv.Vector) float64 {
 	}
 	switch {
 	case bestPos == -1:
-		return 0
+		return 0, ds
 	case bestNeg == -1:
-		return 1
+		return 1, ds
 	case bestPos+bestNeg == 0:
-		return 0.5
+		return 0.5, ds
 	default:
 		// Closer positive exemplar -> higher score, in (0, 1).
-		return float64(bestNeg) / float64(bestPos+bestNeg)
+		return float64(bestNeg) / float64(bestPos+bestNeg), ds
 	}
 }
 
 // LeaveOneOut runs the paper's validation (§II.C): each record is labelled
 // by its nearest neighbour among all the others, and the predictions are
-// tallied into a confusion matrix. The pairwise distance matrix is computed
-// once, in parallel.
+// tallied into a confusion matrix. Rows fan out across workers, each
+// recycling one distance buffer for all of its rows — the n×n distance
+// matrix the seed implementation materialized is never allocated, so LOO's
+// working memory is O(workers·n) instead of O(n²).
 func LeaveOneOut(vs []hv.Vector, y []int) metrics.Confusion {
 	if len(vs) != len(y) {
 		panic(fmt.Sprintf("hamming: %d vectors but %d labels", len(vs), len(y)))
@@ -125,19 +199,22 @@ func LeaveOneOut(vs []hv.Vector, y []int) metrics.Confusion {
 	if len(vs) < 2 {
 		panic("hamming: leave-one-out needs at least two records")
 	}
-	dm := hv.HammingMatrix(vs)
 	pred := make([]int, len(vs))
-	parallel.For(len(vs), func(i int) {
-		best, bestDist := -1, 0
-		for j, d := range dm[i] {
-			if j == i {
-				continue
+	parallel.ForChunked(len(vs), func(lo, hi int) {
+		ds := make([]int, len(vs)) // per-worker, reused across rows
+		for i := lo; i < hi; i++ {
+			hv.DistancesSerial(vs[i], vs, ds)
+			best, bestDist := -1, 0
+			for j, d := range ds {
+				if j == i {
+					continue
+				}
+				if best == -1 || d < bestDist {
+					best, bestDist = j, d
+				}
 			}
-			if best == -1 || d < bestDist {
-				best, bestDist = j, d
-			}
+			pred[i] = y[best]
 		}
-		pred[i] = y[best]
 	})
 	return metrics.NewConfusion(y, pred)
 }
@@ -164,12 +241,18 @@ func NewFloatAdapter(k int) *FloatAdapter {
 
 func packRow(row []float64) hv.Vector {
 	v := hv.New(len(row))
+	packRowInto(row, v)
+	return v
+}
+
+// packRowInto re-binarizes row at 0.5 into the caller's reusable vector.
+func packRowInto(row []float64, v hv.Vector) {
+	v.Clear()
 	for j, x := range row {
 		if x >= 0.5 {
 			v.SetBit(j, true)
 		}
 	}
-	return v
 }
 
 // Fit packs the rows into hypervectors and stores them.
@@ -189,28 +272,40 @@ func (a *FloatAdapter) Fit(X [][]float64, y []int) error {
 	return nil
 }
 
-// Predict labels each row by its nearest stored hypervector.
+// Predict labels each row by its nearest stored hypervector; each worker
+// reuses one packed query vector and one distance buffer across its rows.
 func (a *FloatAdapter) Predict(X [][]float64) []int {
 	if a.model == nil {
 		panic("hamming: predict before fit")
 	}
 	ml.CheckPredict(X, a.width)
-	vs := make([]hv.Vector, len(X))
-	for i, row := range X {
-		vs[i] = packRow(row)
-	}
-	return a.model.PredictAll(vs)
+	out := make([]int, len(X))
+	parallel.ForChunked(len(X), func(lo, hi int) {
+		q := hv.New(a.width)
+		var ds []int
+		for i := lo; i < hi; i++ {
+			packRowInto(X[i], q)
+			out[i], ds = a.model.predict(q, ds)
+		}
+	})
+	return out
 }
 
-// Scores returns continuous positive-class scores per row.
+// Scores returns continuous positive-class scores per row, with the same
+// per-worker buffer reuse as Predict.
 func (a *FloatAdapter) Scores(X [][]float64) []float64 {
 	if a.model == nil {
 		panic("hamming: scores before fit")
 	}
 	ml.CheckPredict(X, a.width)
 	out := make([]float64, len(X))
-	parallel.For(len(X), func(i int) {
-		out[i] = a.model.Score(packRow(X[i]))
+	parallel.ForChunked(len(X), func(lo, hi int) {
+		q := hv.New(a.width)
+		var ds []int
+		for i := lo; i < hi; i++ {
+			packRowInto(X[i], q)
+			out[i], ds = a.model.score(q, ds)
+		}
 	})
 	return out
 }

@@ -3,10 +3,12 @@ package tables
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"text/tabwriter"
 	"time"
 
 	"hdfe/internal/core"
+	"hdfe/internal/hv"
 	"hdfe/internal/ml/nn"
 )
 
@@ -38,6 +40,38 @@ type RuntimeResult struct {
 	// sequential network on each representation.
 	NNEpochFeatures time.Duration
 	NNEpochHyper    time.Duration
+	// Encode compares the legacy value-returning encode path against the
+	// destination-passing (Into) path on the same dataset.
+	Encode EncodePathStats
+}
+
+// EncodePathStats reports per-record cost of batch encoding: the legacy
+// path allocates a fresh hypervector per record, the Into path reuses
+// caller-owned storage and per-worker scratch.
+type EncodePathStats struct {
+	Records         int
+	LegacyPerRec    time.Duration
+	IntoPerRec      time.Duration
+	LegacyAllocsRec float64
+	IntoAllocsRec   float64
+}
+
+// measureEncodePath times fn over passes and reports mean wall-clock and
+// heap allocations per call (ReadMemStats deltas; single-shot precision,
+// same spirit as the rest of this driver — the repo benchmarks give the
+// statistically robust numbers).
+func measureEncodePath(passes int, fn func()) (time.Duration, float64) {
+	fn() // warm pools and the scheduler before measuring
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for p := 0; p < passes; p++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed / time.Duration(passes),
+		float64(after.Mallocs-before.Mallocs) / float64(passes)
 }
 
 // Runtime measures wall-clock fit time of every zoo model on Pima R with
@@ -86,6 +120,29 @@ func Runtime(cfg Config) (*RuntimeResult, error) {
 	if res.NNEpochHyper, err = epoch(hvFloats); err != nil {
 		return nil, err
 	}
+
+	// Encode-path comparison: legacy per-record allocation vs recycled
+	// destination vectors with per-worker scratch.
+	ext := core.NewExtractor(hdOptions(cfg, 0))
+	if err := ext.FitDataset(d); err != nil {
+		return nil, err
+	}
+	const passes = 10
+	n := len(d.X)
+	legacyTime, legacyAllocs := measureEncodePath(passes, func() {
+		ext.Transform(d.X)
+	})
+	dst := make([]hv.Vector, n)
+	intoTime, intoAllocs := measureEncodePath(passes, func() {
+		ext.TransformInto(d.X, dst)
+	})
+	res.Encode = EncodePathStats{
+		Records:         n,
+		LegacyPerRec:    legacyTime / time.Duration(n),
+		IntoPerRec:      intoTime / time.Duration(n),
+		LegacyAllocsRec: legacyAllocs / float64(n),
+		IntoAllocsRec:   intoAllocs / float64(n),
+	}
 	return res, nil
 }
 
@@ -102,4 +159,9 @@ func RenderRuntime(w io.Writer, res *RuntimeResult) {
 		res.NNEpochFeatures.Round(time.Millisecond), res.NNEpochHyper.Round(time.Millisecond),
 		float64(res.NNEpochHyper)/float64(res.NNEpochFeatures))
 	tw.Flush()
+
+	e := res.Encode
+	fmt.Fprintf(w, "\nEncode path — batch encoding of %d records (per record)\n", e.Records)
+	fmt.Fprintf(w, "  legacy (alloc per record): %v, %.1f allocs\n", e.LegacyPerRec, e.LegacyAllocsRec)
+	fmt.Fprintf(w, "  Into   (recycled buffers): %v, %.2f allocs\n", e.IntoPerRec, e.IntoAllocsRec)
 }

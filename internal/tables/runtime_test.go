@@ -36,10 +36,22 @@ func TestRuntimeQuick(t *testing.T) {
 	if boostRatio <= forestRatio {
 		t.Fatalf("LGBM slowdown %.1fx not above forest %.1fx", boostRatio, forestRatio)
 	}
+	if res.Encode.Records == 0 || res.Encode.IntoPerRec <= 0 || res.Encode.LegacyPerRec <= 0 {
+		t.Fatalf("encode-path stats missing: %+v", res.Encode)
+	}
+	// The Into path recycles destination vectors and per-worker scratch;
+	// the legacy path allocates at least one hypervector per record.
+	if res.Encode.IntoAllocsRec >= res.Encode.LegacyAllocsRec {
+		t.Fatalf("Into path allocs/record %.2f not below legacy %.2f",
+			res.Encode.IntoAllocsRec, res.Encode.LegacyAllocsRec)
+	}
 	var buf bytes.Buffer
 	RenderRuntime(&buf, res)
 	if !strings.Contains(buf.String(), "Slowdown") {
 		t.Fatal("render missing slowdown column")
+	}
+	if !strings.Contains(buf.String(), "Encode path") {
+		t.Fatal("render missing encode-path section")
 	}
 }
 
