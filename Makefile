@@ -1,10 +1,12 @@
 # Tier-1 entry points for hdfe. `make test` is the gate every change must
-# pass; `make test-race` adds the concurrent-serving suite under the race
-# detector; `make bench` tracks the zero-allocation encode/score path.
+# pass; `make test-race` runs the whole module (serving suite included)
+# under the race detector; `make fuzz-smoke` gives each fuzz target a short
+# budget; `make bench` tracks the zero-allocation encode/score path.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all fmt vet test test-race bench
+.PHONY: all fmt vet test test-race fuzz-smoke bench
 
 all: fmt vet test
 
@@ -17,8 +19,16 @@ vet:
 test:
 	$(GO) build ./... && $(GO) test ./...
 
+# Every package, so new packages (internal/serve, cmd/*) are covered
+# automatically instead of a hand-maintained list going stale.
 test-race:
-	$(GO) test -race ./internal/core ./internal/ml/hamming ./internal/hv ./internal/encode ./internal/eval
+	$(GO) test -race ./...
+
+fuzz-smoke:
+	$(GO) test ./internal/encode -run '^$$' -fuzz '^FuzzEncodeRecordInto$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/encode -run '^$$' -fuzz '^FuzzLevelEncoderFlips$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/hv -run '^$$' -fuzz '^FuzzMajorityInto$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dataset -run '^$$' -fuzz '^FuzzCSVParse$$' -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test ./internal/core -run '^$$' -bench 'TransformRecord|ScoreBatch' -benchmem

@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -26,129 +27,159 @@ import (
 )
 
 func main() {
-	var (
-		exp    = flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, table5, ablations, curve, runtime, mcnemar")
-		seed   = flag.Uint64("seed", 42, "master seed for data synthesis, encoding and splits")
-		dim    = flag.Int("dim", 0, "hypervector dimensionality (0 = paper's 10000)")
-		folds  = flag.Int("folds", 0, "cross-validation folds (0 = paper's 10)")
-		trials = flag.Int("trials", 0, "NN repetitions (0 = paper's 10)")
-		quick  = flag.Bool("quick", false, "shrink ensembles and epochs for a fast smoke run")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "hdbench: %v\n", err)
+		os.Exit(1)
+	}
+}
 
-		curveModel   = flag.String("curve-model", "SGD", "zoo model for -exp curve")
-		curveRepeats = flag.Int("curve-repeats", 5, "resamples per learning-curve point")
-		mcnemarData  = flag.String("mcnemar-dataset", "pima-m", "dataset for -exp mcnemar: pima-r, pima-m, sylhet")
+// run is the testable main: tables render to stdout.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hdbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp    = fs.String("exp", "all", "experiment: all, table1, table2, table3, table4, table5, ablations, curve, runtime, mcnemar")
+		seed   = fs.Uint64("seed", 42, "master seed for data synthesis, encoding and splits")
+		dim    = fs.Int("dim", 0, "hypervector dimensionality (0 = paper's 10000)")
+		folds  = fs.Int("folds", 0, "cross-validation folds (0 = paper's 10)")
+		trials = fs.Int("trials", 0, "NN repetitions (0 = paper's 10)")
+		quick  = fs.Bool("quick", false, "shrink ensembles and epochs for a fast smoke run")
+
+		curveModel   = fs.String("curve-model", "SGD", "zoo model for -exp curve")
+		curveRepeats = fs.Int("curve-repeats", 5, "resamples per learning-curve point")
+		mcnemarData  = fs.String("mcnemar-dataset", "pima-m", "dataset for -exp mcnemar: pima-r, pima-m, sylhet")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := tables.Config{Seed: *seed, Dim: *dim, Folds: *folds, Trials: *trials, Quick: *quick}
-	run := func(name string, fn func() error) {
+	timed := func(name string, fn func() error) error {
 		start := time.Now()
 		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "hdbench: %s failed: %v\n", name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s failed: %w", name, err)
 		}
-		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	any := false
 	if want("table1") {
 		any = true
-		run("table1", func() error {
-			tables.RenderTable1(os.Stdout, tables.Table1(cfg))
+		if err := timed("table1", func() error {
+			tables.RenderTable1(stdout, tables.Table1(cfg))
 			return nil
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if want("table2") {
 		any = true
-		run("table2", func() error {
+		if err := timed("table2", func() error {
 			res, err := tables.Table2(cfg)
 			if err != nil {
 				return err
 			}
-			tables.RenderTable2(os.Stdout, res)
+			tables.RenderTable2(stdout, res)
 			return nil
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if want("table3") {
 		any = true
-		run("table3", func() error {
+		if err := timed("table3", func() error {
 			res, err := tables.Table3(cfg)
 			if err != nil {
 				return err
 			}
-			tables.RenderTable3(os.Stdout, res)
+			tables.RenderTable3(stdout, res)
 			return nil
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if want("table4") {
 		any = true
-		run("table4", func() error {
+		if err := timed("table4", func() error {
 			res, err := tables.Table4(cfg)
 			if err != nil {
 				return err
 			}
-			tables.RenderTestMetrics(os.Stdout, "Table IV", res)
+			tables.RenderTestMetrics(stdout, "Table IV", res)
 			return nil
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if want("table5") {
 		any = true
-		run("table5", func() error {
+		if err := timed("table5", func() error {
 			res, err := tables.Table5(cfg)
 			if err != nil {
 				return err
 			}
-			tables.RenderTestMetrics(os.Stdout, "Table V", res)
+			tables.RenderTestMetrics(stdout, "Table V", res)
 			return nil
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if *exp == "curve" {
 		any = true
-		run("curve", func() error {
+		if err := timed("curve", func() error {
 			res, err := tables.LearningCurve(cfg, *curveModel, *curveRepeats)
 			if err != nil {
 				return err
 			}
-			tables.RenderLearningCurve(os.Stdout, res)
+			tables.RenderLearningCurve(stdout, res)
 			return nil
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if *exp == "mcnemar" {
 		any = true
-		run("mcnemar", func() error {
+		if err := timed("mcnemar", func() error {
 			res, err := tables.Significance(cfg, *mcnemarData)
 			if err != nil {
 				return err
 			}
-			tables.RenderSignificance(os.Stdout, res)
+			tables.RenderSignificance(stdout, res)
 			return nil
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if *exp == "runtime" {
 		any = true
-		run("runtime", func() error {
+		if err := timed("runtime", func() error {
 			res, err := tables.Runtime(cfg)
 			if err != nil {
 				return err
 			}
-			tables.RenderRuntime(os.Stdout, res)
+			tables.RenderRuntime(stdout, res)
 			return nil
-		})
+		}); err != nil {
+			return err
+		}
 	}
-	if want("ablations") && *exp == "ablations" {
+	if *exp == "ablations" {
 		any = true
-		run("ablations", func() error {
+		if err := timed("ablations", func() error {
 			res, err := tables.Ablations(cfg)
 			if err != nil {
 				return err
 			}
-			tables.RenderAblations(os.Stdout, res, tables.DatasetNames(cfg))
+			tables.RenderAblations(stdout, res, tables.DatasetNames(cfg))
 			return nil
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "hdbench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+	return nil
 }

@@ -15,6 +15,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -23,23 +24,39 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "hdencode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable main: hypervector lines go to stdout, notices to
+// stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hdencode", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		in     = flag.String("in", "", "input CSV path (required)")
-		label  = flag.String("label", "label", "label column name")
-		binary = flag.String("binary", "", "comma-separated binary column names")
-		dim    = flag.Int("dim", 0, "hypervector dimensionality (0 = 10000)")
-		seed   = flag.Uint64("seed", 42, "encoder seed")
-		format = flag.String("format", "hex", "output format: hex, bits, ones")
+		in     = fs.String("in", "", "input CSV path (required)")
+		label  = fs.String("label", "label", "label column name")
+		binary = fs.String("binary", "", "comma-separated binary column names")
+		dim    = fs.Int("dim", 0, "hypervector dimensionality (0 = 10000)")
+		seed   = fs.Uint64("seed", 42, "encoder seed")
+		format = fs.String("format", "hex", "output format: hex, bits, ones")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "hdencode: -in is required")
-		os.Exit(2)
+		return fmt.Errorf("-in is required")
+	}
+	switch *format {
+	case "hex", "bits", "ones":
+	default:
+		return fmt.Errorf("unknown format %q", *format)
 	}
 	f, err := os.Open(*in)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hdencode: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	defer f.Close()
 
@@ -52,23 +69,20 @@ func main() {
 		BinaryColumns: binCols,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hdencode: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	if d.HasMissing() {
-		fmt.Fprintln(os.Stderr, "hdencode: dataset has missing values; imputing class medians")
+		fmt.Fprintln(stderr, "hdencode: dataset has missing values; imputing class medians")
 		d = dataset.ImputeClassMedian(d)
 	}
 
 	ext := core.NewExtractor(core.Options{Dim: *dim, Seed: *seed})
 	if err := ext.FitDataset(d); err != nil {
-		fmt.Fprintf(os.Stderr, "hdencode: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	vs := ext.Transform(d.X)
 
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
+	w := bufio.NewWriter(stdout)
 	for i, v := range vs {
 		switch *format {
 		case "hex":
@@ -89,9 +103,7 @@ func main() {
 				fmt.Fprintf(w, " %d", idx)
 			}
 			w.WriteByte('\n')
-		default:
-			fmt.Fprintf(os.Stderr, "hdencode: unknown format %q\n", *format)
-			os.Exit(2)
 		}
 	}
+	return w.Flush()
 }

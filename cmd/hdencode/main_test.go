@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hdfe/internal/core"
+	"hdfe/internal/dataset"
+	"hdfe/internal/synth"
+)
+
+// writeTestCSV materializes a small synthetic dataset for the CLI to read.
+func writeTestCSV(t *testing.T) (path string, d *dataset.Dataset) {
+	t.Helper()
+	d = synth.PimaM(5)
+	path = filepath.Join(t.TempDir(), "pima.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteCSV(f, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, d
+}
+
+func TestRunHexGolden(t *testing.T) {
+	path, d := writeTestCSV(t)
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-in", path, "-dim", "256", "-seed", "4"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != d.Len() {
+		t.Fatalf("%d output lines for %d records", len(lines), d.Len())
+	}
+	// Golden check: the CLI must reproduce the library encoding exactly —
+	// same dataset, same dim/seed, same hex.
+	ext := core.NewExtractor(core.Options{Dim: 256, Seed: 4})
+	if err := ext.FitDataset(d); err != nil {
+		t.Fatal(err)
+	}
+	vs := ext.Transform(d.X)
+	for i, line := range lines {
+		parts := strings.SplitN(line, " ", 2)
+		if len(parts) != 2 {
+			t.Fatalf("line %d malformed: %q", i, line)
+		}
+		if parts[1] != vs[i].Hex() {
+			t.Fatalf("line %d hex diverges from library encoding", i)
+		}
+	}
+}
+
+func TestRunBitsAndOnesAgree(t *testing.T) {
+	path, _ := writeTestCSV(t)
+	var bits, ones, errOut bytes.Buffer
+	if err := run([]string{"-in", path, "-dim", "128", "-format", "bits"}, &bits, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path, "-dim", "128", "-format", "ones"}, &ones, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	bitLines := strings.Split(strings.TrimSpace(bits.String()), "\n")
+	oneLines := strings.Split(strings.TrimSpace(ones.String()), "\n")
+	if len(bitLines) != len(oneLines) {
+		t.Fatalf("bits %d lines, ones %d lines", len(bitLines), len(oneLines))
+	}
+	// First record: the set positions listed by -format ones must be the
+	// '1' positions of the -format bits string.
+	bitStr := strings.SplitN(bitLines[0], " ", 2)[1]
+	if len(bitStr) != 128 {
+		t.Fatalf("bit string length %d", len(bitStr))
+	}
+	var wantOnes []string
+	for i, ch := range bitStr {
+		if ch == '1' {
+			wantOnes = append(wantOnes, strconv.Itoa(i))
+		}
+	}
+	gotFields := strings.Fields(oneLines[0])[1:]
+	if strings.Join(gotFields, ",") != strings.Join(wantOnes, ",") {
+		t.Fatal("ones listing disagrees with bit string")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{}, &out, &errOut); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent.csv"}, &out, &errOut); err == nil {
+		t.Fatal("nonexistent input accepted")
+	}
+	path, _ := writeTestCSV(t)
+	if err := run([]string{"-in", path, "-format", "base64"}, &out, &errOut); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if err := run([]string{"-in", path, "-label", "NoSuchColumn"}, &out, &errOut); err == nil {
+		t.Fatal("bad label column accepted")
+	}
+}

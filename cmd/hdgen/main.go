@@ -21,12 +21,25 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "hdgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable main: CSV goes to stdout (or -out), the summary
+// line to stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hdgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name = flag.String("dataset", "pima", "dataset: pima, pima-r, pima-m, sylhet")
-		seed = flag.Uint64("seed", 42, "generator seed")
-		out  = flag.String("out", "", "output path (default stdout)")
+		name = fs.String("dataset", "pima", "dataset: pima, pima-r, pima-m, sylhet")
+		seed = fs.Uint64("seed", 42, "generator seed")
+		out  = fs.String("out", "", "output path (default stdout)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var d *dataset.Dataset
 	switch *name {
@@ -39,30 +52,28 @@ func main() {
 	case "sylhet":
 		d = synth.Sylhet(synth.DefaultSylhetConfig(*seed))
 	default:
-		fmt.Fprintf(os.Stderr, "hdgen: unknown dataset %q\n", *name)
-		os.Exit(2)
+		return fmt.Errorf("unknown dataset %q", *name)
 	}
 
-	var w io.Writer = os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "hdgen: %v\n", err)
-			os.Exit(1)
+			return err
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "hdgen: closing %s: %v\n", *out, err)
-				os.Exit(1)
-			}
-		}()
+		defer f.Close()
 		w = f
 	}
 	if err := dataset.WriteCSV(w, d); err != nil {
-		fmt.Fprintf(os.Stderr, "hdgen: %v\n", err)
-		os.Exit(1)
+		return err
+	}
+	if f, ok := w.(*os.File); ok {
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("closing %s: %w", *out, err)
+		}
 	}
 	neg, pos := d.ClassCounts()
-	fmt.Fprintf(os.Stderr, "hdgen: wrote %s: %d rows (%d negative, %d positive), %d features\n",
+	fmt.Fprintf(stderr, "hdgen: wrote %s: %d rows (%d negative, %d positive), %d features\n",
 		d.Name, d.Len(), neg, pos, d.NumFeatures())
+	return nil
 }

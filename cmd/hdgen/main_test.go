@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hdfe/internal/dataset"
+)
+
+// pimaHeader is the golden CSV header for every Pima variant.
+const pimaHeader = "Pregnancies,Glucose,BloodPressure,SkinThickness,Insulin,BMI,DPF,Age,label"
+
+func TestRunWritesParseableCSV(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-dataset", "pima-r", "-seed", "3"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if lines[0] != pimaHeader {
+		t.Fatalf("header %q, want %q", lines[0], pimaHeader)
+	}
+	if len(lines) < 100 {
+		t.Fatalf("only %d CSV lines", len(lines))
+	}
+	d, err := dataset.ReadCSV(strings.NewReader(out.String()), "roundtrip", dataset.CSVOptions{LabelColumn: "label"})
+	if err != nil {
+		t.Fatalf("emitted CSV does not re-parse: %v", err)
+	}
+	if d.NumFeatures() != 8 {
+		t.Fatalf("%d features after round trip", d.NumFeatures())
+	}
+	if d.HasMissing() {
+		t.Fatal("pima-r (rows with missing dropped) still has missing cells")
+	}
+	if !strings.Contains(errOut.String(), "hdgen: wrote") {
+		t.Fatalf("summary missing from stderr: %q", errOut.String())
+	}
+}
+
+func TestRunIsDeterministicPerSeed(t *testing.T) {
+	var a, b, c bytes.Buffer
+	var discard bytes.Buffer
+	if err := run([]string{"-dataset", "sylhet", "-seed", "9"}, &a, &discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dataset", "sylhet", "-seed", "9"}, &b, &discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dataset", "sylhet", "-seed", "10"}, &c, &discard); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different CSV")
+	}
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical CSV")
+	}
+}
+
+func TestRunOutFlagAndErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-dataset", "pima-m", "-out", path}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatal("CSV leaked to stdout with -out set")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), pimaHeader) {
+		t.Fatalf("file starts with %q", string(data[:40]))
+	}
+
+	if err := run([]string{"-dataset", "nope"}, &out, &errOut); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if err := run([]string{"-bogus-flag"}, &out, &errOut); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+}

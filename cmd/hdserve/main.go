@@ -1,0 +1,131 @@
+// Command hdserve serves a persisted hdfe deployment as a batched HTTP
+// scoring service (see internal/serve).
+//
+// Usage:
+//
+//	hdserve -model dep.bin [-addr :8080] [-name pima] [-max-batch 32]
+//	        [-max-wait 2ms] [-timeout 5s] [-reject-missing]
+//	hdserve -demo [-addr :8080] [-dim 10000] [-seed 42]
+//	hdserve -write-demo dep.bin [-dim 10000] [-seed 42]
+//
+// -demo fits a deployment on the synthetic Pima M dataset in-process and
+// serves it immediately — the quickest way to try the API. -write-demo
+// writes that same deployment to a file and exits, producing a model
+// artifact for -model. On SIGINT/SIGTERM the server drains in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hdfe/internal/core"
+	"hdfe/internal/serve"
+	"hdfe/internal/synth"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "hdserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable main: it parses args, builds or loads the
+// deployment, and serves until ctx is cancelled. The listening address is
+// printed to stdout once the socket is open, so callers (and tests) can
+// bind to port 0 and discover the real port.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hdserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		model         = fs.String("model", "", "deployment file written by core.Deployment.Save")
+		name          = fs.String("name", "", "model name reported by /healthz (default: model file or \"demo\")")
+		addr          = fs.String("addr", ":8080", "listen address")
+		maxBatch      = fs.Int("max-batch", 32, "microbatch size cap")
+		maxWait       = fs.Duration("max-wait", 2*time.Millisecond, "microbatch wait before scoring a partial batch")
+		timeout       = fs.Duration("timeout", 5*time.Second, "per-request timeout")
+		rejectMissing = fs.Bool("reject-missing", false, "reject null feature values instead of encoding them as missing")
+		demo          = fs.Bool("demo", false, "fit a synthetic Pima M deployment in-process and serve it")
+		writeDemo     = fs.String("write-demo", "", "write the demo deployment to this file and exit")
+		dim           = fs.Int("dim", 0, "demo hypervector dimensionality (0 = 10000)")
+		seed          = fs.Uint64("seed", 42, "demo synthesis + encoder seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	if *writeDemo != "" {
+		dep, err := demoDeployment(*dim, *seed)
+		if err != nil {
+			return err
+		}
+		if err := dep.Save(*writeDemo); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "hdserve: wrote demo deployment (dim %d) to %s\n", dep.Extractor.Dim(), *writeDemo)
+		return nil
+	}
+
+	var dep *core.Deployment
+	modelName := *name
+	switch {
+	case *demo && *model != "":
+		return errors.New("use either -demo or -model, not both")
+	case *demo:
+		var err error
+		if dep, err = demoDeployment(*dim, *seed); err != nil {
+			return err
+		}
+		if modelName == "" {
+			modelName = "demo-pima-m"
+		}
+	case *model != "":
+		var err error
+		if dep, err = core.LoadDeployment(*model); err != nil {
+			return err
+		}
+		if modelName == "" {
+			modelName = *model
+		}
+	default:
+		return errors.New("-model is required (or use -demo)")
+	}
+
+	srv := serve.New(dep, serve.Config{
+		ModelName:      modelName,
+		MaxBatch:       *maxBatch,
+		MaxWait:        *maxWait,
+		RequestTimeout: *timeout,
+		RejectMissing:  *rejectMissing,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "hdserve: serving %s (dim %d, %d features) on %s\n",
+		modelName, dep.Extractor.Dim(), dep.Extractor.Codebook().NumFeatures(), ln.Addr())
+	err = srv.Serve(ctx, ln)
+	fmt.Fprintf(stdout, "hdserve: drained and stopped: %s\n", srv.Metrics().Snapshot())
+	return err
+}
+
+// demoDeployment fits the serving demo model: the synthetic Pima M
+// dataset through the paper's encoder configuration.
+func demoDeployment(dim int, seed uint64) (*core.Deployment, error) {
+	d := synth.PimaM(seed)
+	return core.BuildDeployment(core.SpecsFor(d.Features), d.X, d.Y, core.Options{Dim: dim, Seed: seed})
+}

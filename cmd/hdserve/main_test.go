@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read run()'s stdout while the server goroutine
+// is still writing to it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var addrRe = regexp.MustCompile(`on (\S+:\d+)`)
+
+func TestRunWriteDemoAndServe(t *testing.T) {
+	model := filepath.Join(t.TempDir(), "dep.bin")
+	var out, errOut bytes.Buffer
+	if err := run(context.Background(), []string{"-write-demo", model, "-dim", "256"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote demo deployment (dim 256)") {
+		t.Fatalf("write-demo output: %q", out.String())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stdout := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-model", model, "-addr", "127.0.0.1:0", "-name", "smoke"}, stdout, &errOut)
+	}()
+
+	// The listening line carries the real port (we bound port 0).
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := addrRe.FindStringSubmatch(stdout.String()); m != nil {
+			addr = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("server never reported its address; stdout %q", stdout.String())
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Status string `json:"status"`
+		Model  string `json:"model"`
+		Dim    int    `json:"dim"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "ok" || h.Model != "smoke" || h.Dim != 256 {
+		t.Fatalf("healthz %+v", h)
+	}
+
+	body := strings.NewReader(`{"features":[2,120,70,25,100,30.5,0.4,40]}`)
+	resp, err = http.Post("http://"+addr+"/v1/score", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr struct {
+		Score float64 `json:"score"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || sr.Score < 0 || sr.Score > 1 {
+		t.Fatalf("score status %d value %v", resp.StatusCode, sr.Score)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not exit after context cancellation")
+	}
+	if !strings.Contains(stdout.String(), "drained and stopped") {
+		t.Fatalf("shutdown line missing from stdout: %q", stdout.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	ctx := context.Background()
+	cases := [][]string{
+		{},                          // no model
+		{"-model", "/nonexistent"},  // unreadable model
+		{"-demo", "-model", "x"},    // conflicting sources
+		{"-bogus"},                  // unknown flag
+		{"-demo", "positional-arg"}, // stray positional
+	}
+	for _, args := range cases {
+		if err := run(ctx, args, &out, &errOut); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	// A corrupt model file must fail cleanly, not panic.
+	bad := filepath.Join(t.TempDir(), "bad.bin")
+	if err := os.WriteFile(bad, []byte("not a deployment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ctx, []string{"-model", bad}, &out, &errOut); err == nil {
+		t.Error("corrupt model accepted")
+	}
+}

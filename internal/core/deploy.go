@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"hdfe/internal/encode"
 	"hdfe/internal/hv"
@@ -138,8 +140,50 @@ func ReadDeployment(r io.Reader) (*Deployment, error) {
 			neg.Dim(), pos.Dim(), cb.Dim())
 	}
 	return &Deployment{
-		Extractor: &Extractor{opts: Options{Dim: cb.Dim()}, cb: cb},
+		// The codebook serializes tie and mode alongside the encoders, so a
+		// reloaded deployment carries the full fitted configuration (Seed is
+		// training-time only and deliberately not restored).
+		Extractor: &Extractor{opts: Options{Dim: cb.Dim(), Tie: cb.Tie(), Mode: cb.Mode()}, cb: cb},
 		NegProto:  neg,
 		PosProto:  pos,
 	}, nil
+}
+
+// Save writes the deployment to path, the file-side of WriteTo. The write
+// goes through a temp file in the same directory and an atomic rename, so
+// a serving process never observes a half-written model.
+func (d *Deployment) Save(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".hdfedep-*")
+	if err != nil {
+		return fmt.Errorf("core: saving deployment: %w", err)
+	}
+	if _, err := d.WriteTo(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("core: saving deployment to %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("core: saving deployment to %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("core: saving deployment: %w", err)
+	}
+	return nil
+}
+
+// LoadDeployment reads a deployment from a file written by Save/WriteTo.
+func LoadDeployment(path string) (*Deployment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading deployment: %w", err)
+	}
+	defer f.Close()
+	d, err := ReadDeployment(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading deployment from %s: %w", path, err)
+	}
+	return d, nil
 }

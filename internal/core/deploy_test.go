@@ -2,8 +2,12 @@ package core
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"hdfe/internal/encode"
+	"hdfe/internal/hv"
 )
 
 func TestDeploymentScoreSeparates(t *testing.T) {
@@ -50,6 +54,36 @@ func TestDeploymentRoundTrip(t *testing.T) {
 	}
 	if !back.NegProto.Equal(dep.NegProto) || !back.PosProto.Equal(dep.PosProto) {
 		t.Fatal("prototypes changed after round trip")
+	}
+}
+
+func TestDeploymentSaveLoadFile(t *testing.T) {
+	d := toyDataset()
+	dep, err := BuildDeployment(SpecsFor(d.Features), d.X, d.Y,
+		Options{Dim: 1024, Seed: 3, Tie: hv.TieToZero, Mode: encode.BindBundle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dep.bin")
+	if err := dep.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDeployment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range d.X {
+		if back.Score(row) != dep.Score(row) {
+			t.Fatal("score changed after file round trip")
+		}
+	}
+	// The reloaded extractor must carry the full fitted configuration, not
+	// just the dimensionality — serving re-reads tie/mode from the codebook.
+	if got := back.Extractor.opts; got.Dim != 1024 || got.Tie != hv.TieToZero || got.Mode != encode.BindBundle {
+		t.Fatalf("reloaded options %+v lost fitted configuration", got)
+	}
+	if _, err := LoadDeployment(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Fatal("loading a missing file succeeded")
 	}
 }
 

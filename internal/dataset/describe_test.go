@@ -72,3 +72,76 @@ func TestDescribeAllMissing(t *testing.T) {
 		t.Fatalf("all-missing describe %+v", desc)
 	}
 }
+
+func TestDescribeAllMissingColumnBesideObserved(t *testing.T) {
+	// A fully missing column must report NaN stats without contaminating
+	// its neighbours.
+	d := MustNew("mixed",
+		[]Feature{{Name: "gone"}, {Name: "ok"}},
+		[][]float64{
+			{math.NaN(), 10},
+			{math.NaN(), 20},
+			{math.NaN(), 30},
+		},
+		[]int{0, 1, 1},
+	)
+	descs := Describe(d)
+	gone, ok := descs[0], descs[1]
+	if gone.Count != 0 || gone.Missing != 3 {
+		t.Fatalf("gone count/missing %d/%d", gone.Count, gone.Missing)
+	}
+	for name, v := range map[string]float64{
+		"mean": gone.Mean, "std": gone.Std, "min": gone.Min,
+		"median": gone.Median, "max": gone.Max,
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("all-missing column %s = %v, want NaN", name, v)
+		}
+	}
+	if ok.Count != 3 || ok.Missing != 0 || ok.Mean != 20 || ok.Min != 10 || ok.Max != 30 {
+		t.Fatalf("observed column polluted: %+v", ok)
+	}
+}
+
+func TestDescribeSingleRow(t *testing.T) {
+	d := MustNew("one",
+		[]Feature{{Name: "v", Kind: Continuous}},
+		[][]float64{{42}},
+		[]int{1},
+	)
+	desc := Describe(d)[0]
+	if desc.Count != 1 || desc.Missing != 0 {
+		t.Fatalf("count/missing %d/%d", desc.Count, desc.Missing)
+	}
+	if desc.Mean != 42 || desc.Median != 42 || desc.Min != 42 || desc.Max != 42 {
+		t.Fatalf("single-row stats %+v", desc)
+	}
+	if desc.Std != 0 {
+		t.Fatalf("single-row std %v, want 0", desc.Std)
+	}
+}
+
+func TestDescribeConstantColumnMaxEqualsMin(t *testing.T) {
+	// A constant feature is the degenerate case for level encoding: the
+	// (max - min) denominator is zero. Describe must report max == min and
+	// zero spread so callers can detect it.
+	d := MustNew("const",
+		[]Feature{{Name: "c", Kind: Continuous}, {Name: "v", Kind: Continuous}},
+		[][]float64{{5, 1}, {5, 2}, {5, 3}},
+		[]int{0, 1, 0},
+	)
+	desc := Describe(d)[0]
+	if desc.Min != desc.Max || desc.Min != 5 {
+		t.Fatalf("constant column min/max %v/%v", desc.Min, desc.Max)
+	}
+	if desc.Std != 0 {
+		t.Fatalf("constant column std %v, want 0", desc.Std)
+	}
+	if desc.Mean != 5 || desc.Median != 5 {
+		t.Fatalf("constant column stats %+v", desc)
+	}
+	// And correlation against it is undefined, not ±1.
+	if c := Correlation(d); !math.IsNaN(c[0][1]) {
+		t.Fatalf("correlation with constant column = %v, want NaN", c[0][1])
+	}
+}

@@ -1,0 +1,61 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCSVParse throws arbitrary bytes at ReadCSV: parsing must either
+// fail with an error or produce a structurally sound dataset — never
+// panic. Accepted datasets are round-tripped through WriteCSV to confirm
+// the writer handles anything the reader lets through.
+func FuzzCSVParse(f *testing.F) {
+	f.Add([]byte("a,b,label\n1,2,0\n3,4,1\n"))
+	f.Add([]byte("a,label\n,positive\nNA,negative\n"))
+	f.Add([]byte("x,y,label\n1,yes,1\n2,no,0\n"))
+	f.Add([]byte("label\n1\n"))
+	f.Add([]byte("a,b,label\n1e308,-1e308,0\n"))
+	f.Add([]byte(`"a,b",label` + "\n5,1\n"))
+	f.Add([]byte("a,label\n1,0\n1,0,9\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadCSV(bytes.NewReader(data), "fuzz", CSVOptions{
+			LabelColumn:   "label",
+			MissingTokens: []string{"NA", "?"},
+		})
+		if err != nil {
+			return // rejecting malformed input is correct
+		}
+		if len(d.X) != len(d.Y) {
+			t.Fatalf("%d rows but %d labels", len(d.X), len(d.Y))
+		}
+		for i, row := range d.X {
+			if len(row) != d.NumFeatures() {
+				t.Fatalf("row %d has %d cells for %d features", i, len(row), d.NumFeatures())
+			}
+		}
+		for i, y := range d.Y {
+			if y != 0 && y != 1 {
+				t.Fatalf("label %d is %d, want 0/1", i, y)
+			}
+		}
+		neg, pos := d.ClassCounts()
+		if neg+pos != d.Len() {
+			t.Fatalf("class counts %d+%d != %d rows", neg, pos, d.Len())
+		}
+		if d.Len() > 0 {
+			var buf bytes.Buffer
+			if err := WriteCSV(&buf, d); err != nil {
+				t.Fatalf("accepted dataset failed to write: %v", err)
+			}
+		}
+		// Missing-data policies must hold on anything the parser accepts.
+		if d.Len() > 0 && d.NumFeatures() > 0 {
+			if dropped := DropMissing(d); dropped.HasMissing() {
+				t.Fatal("DropMissing left missing cells")
+			}
+			if imputed := ImputeClassMedian(d); imputed.HasMissing() {
+				t.Fatal("ImputeClassMedian left missing cells")
+			}
+		}
+	})
+}

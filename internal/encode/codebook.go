@@ -161,6 +161,12 @@ func columnRange(X [][]float64, j int) (lo, hi float64) {
 // Dim returns the hypervector dimensionality.
 func (c *Codebook) Dim() int { return c.dim }
 
+// Tie returns the fitted majority tie-break rule.
+func (c *Codebook) Tie() hv.TieBreak { return c.tie }
+
+// Mode returns the fitted record-combination mode.
+func (c *Codebook) Mode() Mode { return c.mode }
+
 // NumFeatures returns the number of features in the schema.
 func (c *Codebook) NumFeatures() int { return len(c.specs) }
 

@@ -1,0 +1,74 @@
+package hv
+
+import (
+	"testing"
+)
+
+// FuzzMajorityInto bundles arbitrary bit patterns at arbitrary (small)
+// dimensionalities and cross-checks three things: MajorityInto never
+// panics on well-formed input, it agrees with the allocating Majority, and
+// both agree with a naive per-bit recount of the inputs. Dimensionalities
+// straddle the 64-bit word boundary so tail-masking bugs surface.
+func FuzzMajorityInto(f *testing.F) {
+	f.Add([]byte{0xff, 0x00, 0xaa}, uint8(3), false)
+	f.Add([]byte{0x01}, uint8(63), true)
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef, 0x42, 0x42, 0x42, 0x42, 0x99}, uint8(65), false)
+	f.Fuzz(func(t *testing.T, data []byte, dimSeed uint8, tieToZero bool) {
+		dim := 1 + int(dimSeed)%130 // 1..130: crosses one and two word boundaries
+		bytesPerVec := (dim + 7) / 8
+		n := len(data) / bytesPerVec
+		if n == 0 {
+			t.Skip("not enough bytes for one vector")
+		}
+		if n > 33 {
+			n = 33
+		}
+		tie := TieToOne
+		if tieToZero {
+			tie = TieToZero
+		}
+		vecs := make([]Vector, n)
+		for i := range vecs {
+			v := New(dim)
+			chunk := data[i*bytesPerVec:]
+			for b := 0; b < dim; b++ {
+				if chunk[b/8]&(1<<(b%8)) != 0 {
+					v.SetBit(b, true)
+				}
+			}
+			vecs[i] = v
+		}
+
+		acc := NewAccumulator(dim)
+		for _, v := range vecs {
+			acc.Add(v)
+		}
+		into := New(dim)
+		acc.MajorityInto(tie, into)
+		if alloc := acc.Majority(tie); !into.Equal(alloc) {
+			t.Fatal("MajorityInto diverged from Majority")
+		}
+		if bundled := Bundle(vecs, tie); !into.Equal(bundled) {
+			t.Fatal("accumulator majority diverged from Bundle")
+		}
+		// Naive recount: bit i is set iff strictly more than half the
+		// vectors set it, or exactly half with TieToOne.
+		for b := 0; b < dim; b++ {
+			count := 0
+			for _, v := range vecs {
+				if v.Bit(b) {
+					count++
+				}
+			}
+			want := 2*count > n || (2*count == n && tie == TieToOne)
+			if into.Bit(b) != want {
+				t.Fatalf("bit %d: majority %v, recount %v (count %d of %d, tie %v)",
+					b, into.Bit(b), want, count, n, tie)
+			}
+		}
+		// Tail invariant: no bits set beyond dim in the backing words.
+		if got := into.OnesCount(); got != len(into.Ones()) {
+			t.Fatalf("popcount %d disagrees with Ones() length %d: tail bits leaked", got, len(into.Ones()))
+		}
+	})
+}

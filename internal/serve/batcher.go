@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"hdfe/internal/core"
+)
+
+// ErrClosed is returned by Submit once the batcher has begun shutting down.
+var ErrClosed = errors.New("serve: batcher closed")
+
+// request is one queued single-record scoring request. resp is buffered so
+// the batch loop never blocks on a caller that gave up (context expiry).
+type request struct {
+	row  []float64
+	resp chan float64
+}
+
+// Batcher coalesces concurrent single-record scoring requests into
+// Deployment.ScoreBatch calls: the first queued request opens a batch,
+// which closes when it reaches maxBatch records or maxWait elapses,
+// whichever comes first. One goroutine runs the batches sequentially on
+// recycled row/score buffers, so steady-state serving rides the PR-1
+// zero-allocation path — throughput scales with batch coalescing instead
+// of per-request encode goroutines.
+type Batcher struct {
+	dep      *core.Deployment
+	maxBatch int
+	maxWait  time.Duration
+	metrics  *Metrics
+
+	mu     sync.RWMutex // guards closed vs. enqueue, so close(reqs) is safe
+	closed bool
+	reqs   chan *request
+	done   chan struct{}
+}
+
+// NewBatcher starts a batcher over dep. maxBatch <= 0 defaults to 32;
+// maxWait < 0 defaults to 2ms (0 is honoured: score whatever is
+// immediately queued). metrics may be nil.
+func NewBatcher(dep *core.Deployment, maxBatch int, maxWait time.Duration, metrics *Metrics) *Batcher {
+	if maxBatch <= 0 {
+		maxBatch = 32
+	}
+	if maxWait < 0 {
+		maxWait = 2 * time.Millisecond
+	}
+	b := &Batcher{
+		dep:      dep,
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		metrics:  metrics,
+		reqs:     make(chan *request, 4*maxBatch),
+		done:     make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// Submit queues one record for scoring and blocks until the batch it lands
+// in has been scored, ctx expires, or the batcher closes. The row is read
+// by the batch loop after Submit returns control to the loop, so callers
+// must not reuse it until Submit returns.
+func (b *Batcher) Submit(ctx context.Context, row []float64) (float64, error) {
+	req := &request{row: row, resp: make(chan float64, 1)}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return 0, ErrClosed
+	}
+	// Enqueue under the read lock: Close takes the write lock before
+	// closing reqs, so no send can race the close. The channel drains
+	// continuously (the loop never stops receiving for long), so holding
+	// the lock across a momentarily full queue only delays Close.
+	select {
+	case b.reqs <- req:
+		b.mu.RUnlock()
+	case <-ctx.Done():
+		b.mu.RUnlock()
+		return 0, ctx.Err()
+	}
+	select {
+	case score := <-req.resp:
+		return score, nil
+	case <-ctx.Done():
+		// The loop still scores the request; the buffered resp channel
+		// absorbs the answer nobody is waiting for.
+		return 0, ctx.Err()
+	}
+}
+
+// Close stops accepting new requests, scores everything already queued,
+// and waits for the batch loop to exit. Safe to call more than once.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		<-b.done
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.reqs)
+	<-b.done
+}
+
+// loop is the single batch-forming goroutine. Closing reqs drains it: a
+// closed channel still delivers everything buffered before reporting
+// !ok, so no accepted request is dropped on shutdown.
+func (b *Batcher) loop() {
+	defer close(b.done)
+	var (
+		batch []*request
+		rows  [][]float64
+		dst   []float64
+	)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		first, ok := <-b.reqs
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], first)
+		timer.Reset(b.maxWait)
+	collect:
+		for len(batch) < b.maxBatch {
+			select {
+			case r, ok := <-b.reqs:
+				if !ok {
+					break collect
+				}
+				batch = append(batch, r)
+			case <-timer.C:
+				break collect
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		rows = rows[:0]
+		for _, r := range batch {
+			rows = append(rows, r.row)
+		}
+		dst = b.dep.ScoreBatchInto(rows, dst)
+		if b.metrics != nil {
+			b.metrics.ObserveBatch(len(batch))
+		}
+		for i, r := range batch {
+			r.resp <- dst[i]
+		}
+	}
+}

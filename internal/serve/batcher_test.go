@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"hdfe/internal/synth"
+)
+
+func TestBatcherScoresMatchDirect(t *testing.T) {
+	dep := testDeployment(t, 128)
+	b := NewBatcher(dep, 16, time.Millisecond, nil)
+	defer b.Close()
+
+	d := synth.PimaM(7)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			row := d.X[i%len(d.X)]
+			got, err := b.Submit(context.Background(), row)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if want := dep.Score(row); got != want {
+				t.Errorf("row %d: batched %v, direct %v", i, got, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestBatcherRespectsMaxBatch(t *testing.T) {
+	dep := testDeployment(t, 128)
+	m := NewMetrics()
+	// A long wait forces every batch to close on size, not time.
+	b := NewBatcher(dep, 4, time.Second, m)
+	defer b.Close()
+
+	row := synth.PimaM(7).X[0]
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.Submit(context.Background(), row); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := m.Snapshot()
+	if snap.Batches < 32/4 {
+		t.Fatalf("%d batches for 32 requests at maxBatch 4", snap.Batches)
+	}
+	for _, bucket := range snap.BatchSizes {
+		switch bucket.Size {
+		case "5-8", "9-16", "17-32", "33-64", "65+":
+			if bucket.Count != 0 {
+				t.Errorf("batch of size %s recorded beyond maxBatch 4", bucket.Size)
+			}
+		}
+	}
+}
+
+func TestBatcherSubmitAfterCloseFails(t *testing.T) {
+	dep := testDeployment(t, 128)
+	b := NewBatcher(dep, 8, time.Millisecond, nil)
+	b.Close()
+	b.Close() // idempotent
+	if _, err := b.Submit(context.Background(), synth.PimaM(7).X[0]); err != ErrClosed {
+		t.Fatalf("Submit after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestBatcherSubmitHonoursContext(t *testing.T) {
+	dep := testDeployment(t, 128)
+	b := NewBatcher(dep, 8, time.Millisecond, nil)
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.Submit(ctx, synth.PimaM(7).X[0]); err != context.Canceled {
+		t.Fatalf("Submit with cancelled context: %v, want context.Canceled", err)
+	}
+}
+
+// TestBatcherCloseDrainsQueued pins the drain guarantee directly at the
+// batcher level: every request queued before Close is scored.
+func TestBatcherCloseDrainsQueued(t *testing.T) {
+	const queued = 48
+	dep := testDeployment(t, 128)
+	// Huge maxWait: requests pile into one open batch until Close drains.
+	b := NewBatcher(dep, 1024, time.Hour, nil)
+	row := synth.PimaM(7).X[0]
+	want := dep.Score(row)
+
+	var wg sync.WaitGroup
+	scores := make(chan float64, queued)
+	errs := make(chan error, queued)
+	for i := 0; i < queued; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := b.Submit(context.Background(), row)
+			if err != nil {
+				errs <- err
+				return
+			}
+			scores <- got
+		}()
+	}
+	// Wait until the batch loop has every request in hand, then Close: the
+	// open batch must be scored, not abandoned.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(b.reqs) > 0 || time.Now().After(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	b.Close()
+	wg.Wait()
+	close(scores)
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	n := 0
+	for got := range scores {
+		n++
+		if got != want {
+			t.Errorf("drained score %v, want %v", got, want)
+		}
+	}
+	if n != queued {
+		t.Fatalf("%d of %d queued requests answered after Close", n, queued)
+	}
+}

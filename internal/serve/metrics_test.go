@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBatchBuckets(t *testing.T) {
+	cases := []struct {
+		n    int
+		want string
+	}{
+		{1, "1"}, {2, "2"}, {3, "3-4"}, {4, "3-4"}, {5, "5-8"}, {8, "5-8"},
+		{9, "9-16"}, {16, "9-16"}, {17, "17-32"}, {32, "17-32"},
+		{33, "33-64"}, {64, "33-64"}, {65, "65+"}, {1000, "65+"},
+	}
+	for _, tc := range cases {
+		if got := batchBucketLabels[batchBucket(tc.n)]; got != tc.want {
+			t.Errorf("batchBucket(%d) = %s, want %s", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveBatch(1)
+	m.ObserveBatch(7)
+	m.ObserveBatch(7)
+	m.scoreRequests.Add(3)
+	m.recordsScored.Add(15)
+	s := m.Snapshot()
+	if s.Batches != 3 {
+		t.Errorf("batches %d", s.Batches)
+	}
+	if want := 15.0 / 3.0; s.MeanBatchSize != want {
+		t.Errorf("mean batch size %v, want %v", s.MeanBatchSize, want)
+	}
+	var ones, mids uint64
+	for _, b := range s.BatchSizes {
+		switch b.Size {
+		case "1":
+			ones = b.Count
+		case "5-8":
+			mids = b.Count
+		}
+	}
+	if ones != 1 || mids != 2 {
+		t.Errorf("histogram ones=%d mids=%d, want 1/2", ones, mids)
+	}
+}
+
+func TestLatencyQuantiles(t *testing.T) {
+	m := NewMetrics()
+	if m.quantile(0.5) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+	// 90 fast requests, 10 slow: p50 lands in the fast bucket, p99 in the
+	// slow one.
+	for i := 0; i < 90; i++ {
+		m.ObserveLatency(40 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		m.ObserveLatency(30 * time.Millisecond)
+	}
+	p50, p99 := m.quantile(0.50), m.quantile(0.99)
+	if p50 > 100*time.Microsecond {
+		t.Errorf("p50 %v, want the fast bucket", p50)
+	}
+	if p99 < 10*time.Millisecond {
+		t.Errorf("p99 %v, want the slow bucket", p99)
+	}
+	s := m.Snapshot()
+	if s.LatencyP50Micros >= s.LatencyP99Micros {
+		t.Errorf("p50 %v >= p99 %v", s.LatencyP50Micros, s.LatencyP99Micros)
+	}
+	// Overflow bucket: beyond the last bound.
+	m2 := NewMetrics()
+	m2.ObserveLatency(time.Hour)
+	if q := m2.quantile(0.5); q < latencyBound(numLatencyBuckets-1) {
+		t.Errorf("overflow quantile %v below the last bound", q)
+	}
+}

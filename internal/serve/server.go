@@ -1,0 +1,316 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"hdfe/internal/core"
+)
+
+// Config tunes the scoring service. The zero value serves with the
+// defaults noted on each field.
+type Config struct {
+	// ModelName is reported by /healthz (default "deployment").
+	ModelName string
+	// MaxBatch caps microbatch size (default 32).
+	MaxBatch int
+	// MaxWait is how long an open microbatch waits for more requests
+	// before scoring (default 2ms; 0 keeps batching purely opportunistic).
+	MaxWait time.Duration
+	// RequestTimeout bounds one request end to end (default 5s).
+	RequestTimeout time.Duration
+	// ShutdownTimeout bounds the HTTP drain on shutdown (default 10s).
+	ShutdownTimeout time.Duration
+	// MaxBatchRecords caps records per /v1/score/batch call (default 4096).
+	MaxBatchRecords int
+	// MaxBodyBytes caps request body size (default 8 MiB).
+	MaxBodyBytes int64
+	// RejectMissing makes null feature values a validation error instead
+	// of encoding them as the baseline codeword (the encode contract's
+	// NaN rule, and the default behaviour).
+	RejectMissing bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.ModelName == "" {
+		c.ModelName = "deployment"
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxWait == 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.ShutdownTimeout <= 0 {
+		c.ShutdownTimeout = 10 * time.Second
+	}
+	if c.MaxBatchRecords <= 0 {
+		c.MaxBatchRecords = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Server wires a fitted deployment behind the HTTP scoring API described
+// in the package comment. Construct with New, mount via Handler (tests)
+// or run with Serve (production), and always Close to drain the batcher.
+type Server struct {
+	dep     *core.Deployment
+	cfg     Config
+	val     *Validator
+	batcher *Batcher
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// New builds a server over dep. The deployment must be fitted; its
+// codebook supplies the validation schema.
+func New(dep *core.Deployment, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := NewMetrics()
+	s := &Server{
+		dep:     dep,
+		cfg:     cfg,
+		val:     NewValidator(dep.Extractor.Codebook(), cfg.RejectMissing),
+		batcher: NewBatcher(dep, cfg.MaxBatch, cfg.MaxWait, m),
+		metrics: m,
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/score", s.handleScore)
+	s.mux.HandleFunc("/v1/score/batch", s.handleScoreBatch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the routing handler (for httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's counters.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close drains and stops the microbatcher. Call after the HTTP listener
+// has stopped accepting requests (Serve does this in order).
+func (s *Server) Close() { s.batcher.Close() }
+
+// Serve runs the service on ln until ctx is cancelled, then shuts down
+// gracefully: the HTTP server drains in-flight handlers (bounded by
+// ShutdownTimeout), and only then the batcher closes — so every accepted
+// request is scored and answered before Serve returns.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
+	defer cancel()
+	err := srv.Shutdown(shCtx)
+	s.Close()
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return err
+}
+
+// scoreRequest is the body of POST /v1/score. Features are positional,
+// matching the fitted schema; null means missing.
+type scoreRequest struct {
+	Features []*float64 `json:"features"`
+}
+
+// scoreResponse is the body of a successful POST /v1/score.
+type scoreResponse struct {
+	Score      float64  `json:"score"`
+	Prediction int      `json:"prediction"`
+	Warnings   []string `json:"warnings,omitempty"`
+}
+
+// batchScoreRequest is the body of POST /v1/score/batch.
+type batchScoreRequest struct {
+	Records [][]*float64 `json:"records"`
+}
+
+// recordWarnings attaches clamping warnings to a record index.
+type recordWarnings struct {
+	Index    int      `json:"index"`
+	Warnings []string `json:"warnings"`
+}
+
+// batchScoreResponse is the body of a successful POST /v1/score/batch.
+type batchScoreResponse struct {
+	Scores      []float64        `json:"scores"`
+	Predictions []int            `json:"predictions"`
+	Warnings    []recordWarnings `json:"warnings,omitempty"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error   string       `json:"error"`
+	Details []FieldError `json:"details,omitempty"`
+	Record  int          `json:"record,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string, details []FieldError, record int) {
+	if status == http.StatusBadRequest && details != nil {
+		s.metrics.validationErrs.Add(1)
+	} else {
+		s.metrics.errors.Add(1)
+	}
+	writeJSON(w, status, errorResponse{Error: msg, Details: details, Record: record})
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.writeError(w, http.StatusBadRequest, "malformed request body: "+err.Error(), nil, 0)
+		return false
+	}
+	return true
+}
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use " + method})
+		return false
+	}
+	return true
+}
+
+// handleScore scores one record through the microbatcher.
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	start := time.Now()
+	s.metrics.scoreRequests.Add(1)
+	var req scoreRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	row, warnings, err := s.val.Validate(req.Features, nil)
+	if err != nil {
+		var verr *ValidationError
+		if errors.As(err, &verr) {
+			s.writeError(w, http.StatusBadRequest, "invalid record", verr.Fields, 0)
+		} else {
+			s.writeError(w, http.StatusBadRequest, err.Error(), nil, 0)
+		}
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	score, err := s.batcher.Submit(ctx, row)
+	switch {
+	case errors.Is(err, ErrClosed):
+		s.metrics.errors.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server shutting down"})
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.timeouts.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "scoring timed out"})
+		return
+	case err != nil:
+		s.metrics.errors.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	s.metrics.recordsScored.Add(1)
+	resp := scoreResponse{Score: score, Warnings: warnings}
+	if score >= 0.5 {
+		resp.Prediction = 1
+	}
+	writeJSON(w, http.StatusOK, resp)
+	s.metrics.ObserveLatency(time.Since(start))
+}
+
+// handleScoreBatch scores an already-batched request directly through
+// Deployment.ScoreBatch — it is the client-side batching fast path and
+// does not pass through the microbatcher.
+func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	start := time.Now()
+	s.metrics.batchRequests.Add(1)
+	var req batchScoreRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Records) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty records", nil, 0)
+		return
+	}
+	if len(req.Records) > s.cfg.MaxBatchRecords {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("%d records exceeds the %d-record batch limit", len(req.Records), s.cfg.MaxBatchRecords), nil, 0)
+		return
+	}
+	rows := make([][]float64, len(req.Records))
+	var allWarnings []recordWarnings
+	for i, rec := range req.Records {
+		row, warnings, err := s.val.Validate(rec, nil)
+		if err != nil {
+			var verr *ValidationError
+			if errors.As(err, &verr) {
+				s.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid record %d", i), verr.Fields, i)
+			} else {
+				s.writeError(w, http.StatusBadRequest, err.Error(), nil, i)
+			}
+			return
+		}
+		rows[i] = row
+		if len(warnings) > 0 {
+			allWarnings = append(allWarnings, recordWarnings{Index: i, Warnings: warnings})
+		}
+	}
+	scores := s.dep.ScoreBatch(rows)
+	preds := make([]int, len(scores))
+	for i, sc := range scores {
+		if sc >= 0.5 {
+			preds[i] = 1
+		}
+	}
+	s.metrics.recordsScored.Add(uint64(len(scores)))
+	writeJSON(w, http.StatusOK, batchScoreResponse{Scores: scores, Predictions: preds, Warnings: allWarnings})
+	s.metrics.ObserveLatency(time.Since(start))
+}
+
+// handleHealthz reports liveness plus the fitted model's identity.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"model":    s.cfg.ModelName,
+		"dim":      s.dep.Extractor.Dim(),
+		"features": s.val.FeatureNames(),
+	})
+}
+
+// handleMetrics serves the expvar-style counter snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
