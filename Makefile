@@ -1,12 +1,13 @@
 # Tier-1 entry points for hdfe. `make test` is the gate every change must
 # pass; `make test-race` runs the whole module (serving suite included)
 # under the race detector; `make fuzz-smoke` gives each fuzz target a short
-# budget; `make bench` tracks the zero-allocation encode/score path.
+# budget; `make bench` tracks the zero-allocation encode/score path;
+# `make obs-smoke` boots hdserve and asserts the /metrics surface.
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all fmt vet test test-race fuzz-smoke bench
+.PHONY: all fmt vet test test-race fuzz-smoke bench obs-smoke
 
 all: fmt vet test
 
@@ -32,3 +33,6 @@ fuzz-smoke:
 
 bench:
 	$(GO) test ./internal/core -run '^$$' -bench 'TransformRecord|ScoreBatch' -benchmem
+
+obs-smoke:
+	sh scripts/obs_smoke.sh

@@ -13,7 +13,10 @@
 // The runtime experiment additionally reports the encode path's per-record
 // time and allocations for the legacy (value-returning) API against the
 // destination-passing Into API, which recycles buffers and should sit near
-// zero allocations per record.
+// zero allocations per record, plus a serving stage split attributing
+// per-record scoring cost to hypervector encoding vs Hamming-distance
+// scoring (the same split hdserve exports at /metrics), so benchmark
+// trajectories can tie a regression to a specific stage.
 package main
 
 import (

@@ -5,6 +5,7 @@
 //
 //	hdserve -model dep.bin [-addr :8080] [-name pima] [-max-batch 32]
 //	        [-max-wait 2ms] [-timeout 5s] [-reject-missing]
+//	        [-log-format text|json] [-log-level info] [-pprof]
 //	hdserve -demo [-addr :8080] [-dim 10000] [-seed 42]
 //	hdserve -write-demo dep.bin [-dim 10000] [-seed 42]
 //
@@ -13,6 +14,12 @@
 // writes that same deployment to a file and exits, producing a model
 // artifact for -model. On SIGINT/SIGTERM the server drains in-flight
 // requests before exiting.
+//
+// Observability: every request is logged structurally (log/slog, text or
+// JSON) with its trace ID, route, status, latency, and microbatch size.
+// /metrics serves Prometheus text format, /metrics.json the legacy JSON
+// snapshot, /debug/traces the recent and slowest per-stage request
+// traces, and -pprof mounts net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"time"
 
 	"hdfe/internal/core"
+	"hdfe/internal/obs"
 	"hdfe/internal/serve"
 	"hdfe/internal/synth"
 )
@@ -42,9 +50,9 @@ func main() {
 }
 
 // run is the testable main: it parses args, builds or loads the
-// deployment, and serves until ctx is cancelled. The listening address is
-// printed to stdout once the socket is open, so callers (and tests) can
-// bind to port 0 and discover the real port.
+// deployment, and serves until ctx is cancelled. The "serving" log line
+// carries the bound listening address, so callers (and tests) can bind
+// to port 0 and discover the real port from stdout.
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("hdserve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -56,6 +64,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		maxWait       = fs.Duration("max-wait", 2*time.Millisecond, "microbatch wait before scoring a partial batch")
 		timeout       = fs.Duration("timeout", 5*time.Second, "per-request timeout")
 		rejectMissing = fs.Bool("reject-missing", false, "reject null feature values instead of encoding them as missing")
+		logFormat     = fs.String("log-format", "text", "structured log format: text or json")
+		logLevel      = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		pprofFlag     = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		demo          = fs.Bool("demo", false, "fit a synthetic Pima M deployment in-process and serve it")
 		writeDemo     = fs.String("write-demo", "", "write the demo deployment to this file and exit")
 		dim           = fs.Int("dim", 0, "demo hypervector dimensionality (0 = 10000)")
@@ -67,6 +78,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	logger, err := obs.NewLogger(stdout, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
 
 	if *writeDemo != "" {
 		dep, err := demoDeployment(*dim, *seed)
@@ -76,7 +91,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if err := dep.Save(*writeDemo); err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "hdserve: wrote demo deployment (dim %d) to %s\n", dep.Extractor.Dim(), *writeDemo)
+		logger.Info("wrote demo deployment", "dim", dep.Extractor.Dim(), "path", *writeDemo)
 		return nil
 	}
 
@@ -111,15 +126,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		MaxWait:        *maxWait,
 		RequestTimeout: *timeout,
 		RejectMissing:  *rejectMissing,
+		Logger:         logger,
+		EnablePprof:    *pprofFlag,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "hdserve: serving %s (dim %d, %d features) on %s\n",
-		modelName, dep.Extractor.Dim(), dep.Extractor.Codebook().NumFeatures(), ln.Addr())
+	logger.Info("serving",
+		"model", modelName,
+		"dim", dep.Extractor.Dim(),
+		"features", dep.Extractor.Codebook().NumFeatures(),
+		"addr", ln.Addr().String(),
+		"pprof", *pprofFlag)
 	err = srv.Serve(ctx, ln)
-	fmt.Fprintf(stdout, "hdserve: drained and stopped: %s\n", srv.Metrics().Snapshot())
+	logger.Info("drained and stopped", "summary", srv.Metrics().Snapshot().String())
 	return err
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -33,7 +34,8 @@ func (b *syncBuffer) String() string {
 	return b.buf.String()
 }
 
-var addrRe = regexp.MustCompile(`on (\S+:\d+)`)
+// The "serving" slog line carries the bound address as addr=HOST:PORT.
+var addrRe = regexp.MustCompile(`addr=(\S+:\d+)`)
 
 func TestRunWriteDemoAndServe(t *testing.T) {
 	model := filepath.Join(t.TempDir(), "dep.bin")
@@ -41,7 +43,7 @@ func TestRunWriteDemoAndServe(t *testing.T) {
 	if err := run(context.Background(), []string{"-write-demo", model, "-dim", "256"}, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "wrote demo deployment (dim 256)") {
+	if !strings.Contains(out.String(), "wrote demo deployment") || !strings.Contains(out.String(), "dim=256") {
 		t.Fatalf("write-demo output: %q", out.String())
 	}
 
@@ -113,15 +115,105 @@ func TestRunWriteDemoAndServe(t *testing.T) {
 	}
 }
 
+// TestRunJSONLogsAndPprof drives the observability flags end to end:
+// -log-format json emits machine-parseable request logs with trace IDs,
+// and -pprof mounts the profiling handlers.
+func TestRunJSONLogsAndPprof(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stdout := &syncBuffer{}
+	var errOut bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-demo", "-dim", "128", "-addr", "127.0.0.1:0",
+			"-log-format", "json", "-pprof"}, stdout, &errOut)
+	}()
+
+	jsonAddrRe := regexp.MustCompile(`"addr":"([^"]+:\d+)"`)
+	var addr string
+	deadline := time.Now().Add(15 * time.Second)
+	for addr == "" {
+		if m := jsonAddrRe.FindStringSubmatch(stdout.String()); m != nil {
+			addr = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("server never reported its address; stdout %q", stdout.String())
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	body := strings.NewReader(`{"features":[2,120,70,25,100,30.5,0.4,40]}`)
+	resp, err := http.Post("http://"+addr+"/v1/score", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("score status %d", resp.StatusCode)
+	}
+
+	// The request log line is JSON with trace_id/route/status/latency.
+	logDeadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(stdout.String(), `"msg":"request"`) {
+		if time.Now().After(logDeadline) {
+			t.Fatalf("no request log line; stdout %q", stdout.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var reqLine map[string]any
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		if strings.Contains(line, `"msg":"request"`) {
+			if err := json.Unmarshal([]byte(line), &reqLine); err != nil {
+				t.Fatalf("request log line %q: %v", line, err)
+			}
+			break
+		}
+	}
+	if reqLine["route"] != "score" || reqLine["trace_id"] == nil || reqLine["status"] != float64(200) {
+		t.Errorf("request log %v", reqLine)
+	}
+
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status %d with -pprof", resp.StatusCode)
+	}
+
+	resp, err = http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(prom), "hdserve_stage_duration_seconds_bucket") {
+		t.Errorf("/metrics missing stage histograms:\n%.400s", prom)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not exit after context cancellation")
+	}
+}
+
 func TestRunFlagErrors(t *testing.T) {
 	var out, errOut bytes.Buffer
 	ctx := context.Background()
 	cases := [][]string{
-		{},                          // no model
-		{"-model", "/nonexistent"},  // unreadable model
-		{"-demo", "-model", "x"},    // conflicting sources
-		{"-bogus"},                  // unknown flag
-		{"-demo", "positional-arg"}, // stray positional
+		{},                              // no model
+		{"-model", "/nonexistent"},      // unreadable model
+		{"-demo", "-model", "x"},        // conflicting sources
+		{"-bogus"},                      // unknown flag
+		{"-demo", "positional-arg"},     // stray positional
+		{"-demo", "-log-format", "xml"}, // unknown log format
+		{"-demo", "-log-level", "loud"}, // unknown log level
 	}
 	for _, args := range cases {
 		if err := run(ctx, args, &out, &errOut); err == nil {

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// StageAccum accumulates per-record encode/distance timings reported by
+// core's scoring hot path (it satisfies core.StageObserver structurally,
+// keeping obs free of a core import). All methods are safe for
+// concurrent use — scoring workers report in parallel — and a reset
+// accumulator is reusable, so the microbatcher keeps one per loop and
+// steady-state accounting allocates nothing.
+type StageAccum struct {
+	encode   atomic.Int64 // nanoseconds
+	distance atomic.Int64 // nanoseconds
+	records  atomic.Int64
+}
+
+// ObserveRecord folds one record's encode and distance time into the
+// accumulator.
+func (a *StageAccum) ObserveRecord(encode, distance time.Duration) {
+	a.encode.Add(int64(encode))
+	a.distance.Add(int64(distance))
+	a.records.Add(1)
+}
+
+// Reset zeroes the accumulator for reuse.
+func (a *StageAccum) Reset() {
+	a.encode.Store(0)
+	a.distance.Store(0)
+	a.records.Store(0)
+}
+
+// Totals returns the accumulated encode time, distance time, and record
+// count since the last Reset.
+func (a *StageAccum) Totals() (encode, distance time.Duration, records int) {
+	return time.Duration(a.encode.Load()), time.Duration(a.distance.Load()), int(a.records.Load())
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hello", "route", "score", "status", 200)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json log line %q: %v", buf.String(), err)
+	}
+	if rec["msg"] != "hello" || rec["route"] != "score" {
+		t.Errorf("json record %v", rec)
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "text", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("filtered")
+	lg.Warn("kept")
+	out := buf.String()
+	if strings.Contains(out, "filtered") || !strings.Contains(out, "kept") {
+		t.Errorf("level filtering broken: %q", out)
+	}
+}
+
+func TestNewLoggerRejectsUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewLogger(&buf, "xml", "info"); err == nil {
+		t.Error("xml format accepted")
+	}
+	if _, err := NewLogger(&buf, "text", "loud"); err == nil {
+		t.Error("loud level accepted")
+	}
+}
+
+func TestNopLoggerDiscards(t *testing.T) {
+	lg := NopLogger()
+	lg.Error("dropped") // must not panic; output goes nowhere
+	if lg.Enabled(nil, 100) {
+		t.Error("nop logger claims to be enabled")
+	}
+}

@@ -7,16 +7,33 @@ import (
 	"time"
 
 	"hdfe/internal/core"
+	"hdfe/internal/obs"
 )
 
 // ErrClosed is returned by Submit once the batcher has begun shutting down.
 var ErrClosed = errors.New("serve: batcher closed")
 
+// BatchTimings is the per-request cost breakdown the batch loop reports
+// back to each submitter: how long the record waited for its batch to
+// form, its amortized share of the batch's encode and distance time, and
+// the batch size it was scored in.
+type BatchTimings struct {
+	Wait     time.Duration // enqueue → batch handed to ScoreBatch
+	Encode   time.Duration // batch encode time / batch size
+	Distance time.Duration // batch distance time / batch size
+	Size     int
+}
+
 // request is one queued single-record scoring request. resp is buffered so
 // the batch loop never blocks on a caller that gave up (context expiry).
+// The loop writes timings before sending on resp, so a submitter that
+// received its score may read them race-free; a submitter that timed out
+// never looks.
 type request struct {
-	row  []float64
-	resp chan float64
+	row     []float64
+	enq     time.Time
+	timings BatchTimings
+	resp    chan float64
 }
 
 // Batcher coalesces concurrent single-record scoring requests into
@@ -31,6 +48,7 @@ type Batcher struct {
 	maxBatch int
 	maxWait  time.Duration
 	metrics  *Metrics
+	acc      obs.StageAccum // reused per batch; loop-goroutine owned between resets
 
 	mu     sync.RWMutex // guards closed vs. enqueue, so close(reqs) is safe
 	closed bool
@@ -60,16 +78,35 @@ func NewBatcher(dep *core.Deployment, maxBatch int, maxWait time.Duration, metri
 	return b
 }
 
+// QueueDepth reports how many accepted requests are waiting for the
+// batch loop — the backlog gauge for /metrics.
+func (b *Batcher) QueueDepth() int { return len(b.reqs) }
+
+// Draining reports whether the batcher has stopped accepting requests
+// (Close was called). Load balancers read this through /healthz.
+func (b *Batcher) Draining() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.closed
+}
+
 // Submit queues one record for scoring and blocks until the batch it lands
 // in has been scored, ctx expires, or the batcher closes. The row is read
 // by the batch loop after Submit returns control to the loop, so callers
 // must not reuse it until Submit returns.
 func (b *Batcher) Submit(ctx context.Context, row []float64) (float64, error) {
-	req := &request{row: row, resp: make(chan float64, 1)}
+	score, _, err := b.SubmitTimed(ctx, row)
+	return score, err
+}
+
+// SubmitTimed is Submit also returning the request's per-stage cost
+// breakdown (zero on error).
+func (b *Batcher) SubmitTimed(ctx context.Context, row []float64) (float64, BatchTimings, error) {
+	req := &request{row: row, enq: time.Now(), resp: make(chan float64, 1)}
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
-		return 0, ErrClosed
+		return 0, BatchTimings{}, ErrClosed
 	}
 	// Enqueue under the read lock: Close takes the write lock before
 	// closing reqs, so no send can race the close. The channel drains
@@ -80,15 +117,15 @@ func (b *Batcher) Submit(ctx context.Context, row []float64) (float64, error) {
 		b.mu.RUnlock()
 	case <-ctx.Done():
 		b.mu.RUnlock()
-		return 0, ctx.Err()
+		return 0, BatchTimings{}, ctx.Err()
 	}
 	select {
 	case score := <-req.resp:
-		return score, nil
+		return score, req.timings, nil
 	case <-ctx.Done():
 		// The loop still scores the request; the buffered resp channel
 		// absorbs the answer nobody is waiting for.
-		return 0, ctx.Err()
+		return 0, BatchTimings{}, ctx.Err()
 	}
 }
 
@@ -150,11 +187,22 @@ func (b *Batcher) loop() {
 		for _, r := range batch {
 			rows = append(rows, r.row)
 		}
-		dst = b.dep.ScoreBatchInto(rows, dst)
+		formed := time.Now()
+		b.acc.Reset()
+		dst = b.dep.ScoreBatchIntoObserved(rows, dst, &b.acc)
 		if b.metrics != nil {
 			b.metrics.ObserveBatch(len(batch))
 		}
+		encTotal, distTotal, _ := b.acc.Totals()
+		n := time.Duration(len(batch))
+		encPer, distPer := encTotal/n, distTotal/n
 		for i, r := range batch {
+			r.timings = BatchTimings{
+				Wait:     formed.Sub(r.enq),
+				Encode:   encPer,
+				Distance: distPer,
+				Size:     len(batch),
+			}
 			r.resp <- dst[i]
 		}
 	}

@@ -93,6 +93,65 @@ func TestBatcherSubmitHonoursContext(t *testing.T) {
 	}
 }
 
+// TestBatcherSubmitTimedReportsStages pins the per-request cost
+// breakdown the batch loop hands back: real batch-wait time, amortized
+// encode/distance shares, and the batch size.
+func TestBatcherSubmitTimedReportsStages(t *testing.T) {
+	dep := testDeployment(t, 128)
+	b := NewBatcher(dep, 16, time.Millisecond, nil)
+	defer b.Close()
+
+	d := synth.PimaM(7)
+	var wg sync.WaitGroup
+	timings := make(chan BatchTimings, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			row := d.X[i%len(d.X)]
+			got, bt, err := b.SubmitTimed(context.Background(), row)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if want := dep.Score(row); got != want {
+				t.Errorf("row %d: timed submit %v, direct %v", i, got, want)
+			}
+			timings <- bt
+		}(i)
+	}
+	wg.Wait()
+	close(timings)
+	n := 0
+	for bt := range timings {
+		n++
+		if bt.Size < 1 || bt.Size > 16 {
+			t.Errorf("batch size %d outside [1, 16]", bt.Size)
+		}
+		if bt.Wait < 0 || bt.Encode <= 0 || bt.Distance < 0 {
+			t.Errorf("timings %+v, want wait>=0, encode>0, distance>=0", bt)
+		}
+	}
+	if n != 32 {
+		t.Fatalf("%d timing reports for 32 submits", n)
+	}
+}
+
+func TestBatcherQueueDepthAndDraining(t *testing.T) {
+	dep := testDeployment(t, 128)
+	b := NewBatcher(dep, 8, time.Millisecond, nil)
+	if b.Draining() {
+		t.Error("fresh batcher reports draining")
+	}
+	if d := b.QueueDepth(); d != 0 {
+		t.Errorf("idle queue depth %d", d)
+	}
+	b.Close()
+	if !b.Draining() {
+		t.Error("closed batcher not draining")
+	}
+}
+
 // TestBatcherCloseDrainsQueued pins the drain guarantee directly at the
 // batcher level: every request queued before Close is scored.
 func TestBatcherCloseDrainsQueued(t *testing.T) {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 	"time"
 )
@@ -60,6 +61,7 @@ type Metrics struct {
 
 	latencyHist [numLatencyBuckets + 1]atomic.Uint64
 	latencyObs  atomic.Uint64
+	latencySum  atomic.Uint64 // nanoseconds, for Prometheus _sum
 }
 
 // NewMetrics returns a zeroed metrics set anchored at the current time.
@@ -80,6 +82,7 @@ func (m *Metrics) ObserveLatency(d time.Duration) {
 	}
 	m.latencyHist[i].Add(1)
 	m.latencyObs.Add(1)
+	m.latencySum.Add(uint64(d))
 }
 
 // quantile returns the upper bound of the first latency bucket whose
@@ -91,9 +94,16 @@ func (m *Metrics) quantile(q float64) time.Duration {
 	if total == 0 {
 		return 0
 	}
-	target := uint64(q * float64(total))
+	// Rank of the q-quantile order statistic. Ceiling, not truncation:
+	// with 9 fast samples and 1 overflow sample, p99's rank must be 10
+	// (the overflow sample), not 9 — truncation let an empty-tail
+	// histogram report a p99 below an observed overflow latency.
+	target := uint64(math.Ceil(q * float64(total)))
 	if target == 0 {
 		target = 1
+	}
+	if target > total {
+		target = total
 	}
 	var cum uint64
 	for i := range m.latencyHist {

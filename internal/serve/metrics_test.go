@@ -80,3 +80,54 @@ func TestLatencyQuantiles(t *testing.T) {
 		t.Errorf("overflow quantile %v below the last bound", q)
 	}
 }
+
+// TestQuantileEmptyTailOverflow pins the overflow-rank fix: with 9 fast
+// samples and 1 overflow sample, the p99 order statistic is the 10th
+// sample — the overflow one — so p99 must not report a bound below it.
+// (Truncating the rank used to land p99 in the fast bucket.)
+func TestQuantileEmptyTailOverflow(t *testing.T) {
+	m := NewMetrics()
+	for i := 0; i < 9; i++ {
+		m.ObserveLatency(40 * time.Microsecond)
+	}
+	m.ObserveLatency(time.Hour) // overflow: beyond latencyBound(15)
+	if q := m.quantile(0.99); q < latencyBound(numLatencyBuckets-1) {
+		t.Errorf("p99 = %v, below the overflow sample's lower bound %v",
+			q, latencyBound(numLatencyBuckets-1))
+	}
+	// p50 still sits in the fast bucket.
+	if q := m.quantile(0.50); q > latencyBound(0) {
+		t.Errorf("p50 = %v, want the first bucket", q)
+	}
+	// q=1.0 is the maximum: always at least the overflow bound.
+	if q := m.quantile(1.0); q < latencyBound(numLatencyBuckets-1) {
+		t.Errorf("p100 = %v, below the overflow bound", q)
+	}
+}
+
+// TestLatencyBucketBoundaries pins the bucket-edge contract: a sample
+// exactly on a bound (d == latencyBound(i)) belongs to bucket i, and one
+// nanosecond more spills into bucket i+1.
+func TestLatencyBucketBoundaries(t *testing.T) {
+	for i := 0; i < numLatencyBuckets; i++ {
+		m := NewMetrics()
+		m.ObserveLatency(latencyBound(i))
+		if got := m.latencyHist[i].Load(); got != 1 {
+			t.Errorf("d == latencyBound(%d): bucket %d count %d, want 1", i, i, got)
+		}
+		m.ObserveLatency(latencyBound(i) + time.Nanosecond)
+		if got := m.latencyHist[i+1].Load(); got != 1 {
+			t.Errorf("d == latencyBound(%d)+1ns: bucket %d count %d, want 1", i, i+1, got)
+		}
+	}
+	// Sum/count accounting for the Prometheus _sum line.
+	m := NewMetrics()
+	m.ObserveLatency(100 * time.Microsecond)
+	m.ObserveLatency(300 * time.Microsecond)
+	if got := time.Duration(m.latencySum.Load()); got != 400*time.Microsecond {
+		t.Errorf("latency sum %v, want 400µs", got)
+	}
+	if got := m.latencyObs.Load(); got != 2 {
+		t.Errorf("latency count %d, want 2", got)
+	}
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"net/http"
+	"runtime"
+	"time"
+
+	"hdfe/internal/obs"
+)
+
+// batchSizeBounds are the cumulative upper bounds matching the
+// power-of-two batchHist cells ("1","2","3-4",...,"33-64"); the trailing
+// "65+" cell becomes the +Inf bucket.
+var batchSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64}
+
+// handleMetricsProm serves the Prometheus text-format exposition: every
+// counter the JSON snapshot carries, the per-stage pipeline histograms,
+// batcher gauges, Go runtime stats, and build info.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PromContentType)
+	w.Header().Set("Cache-Control", "no-store")
+	p := obs.NewPromWriter(w)
+	m := s.metrics
+
+	p.Header("hdserve_build_info", "gauge", "Build and model identity (always 1).")
+	p.Value("hdserve_build_info", 1,
+		"go_version", runtime.Version(),
+		"model", s.cfg.ModelName)
+	p.Header("hdserve_uptime_seconds", "gauge", "Seconds since the metrics epoch.")
+	p.Value("hdserve_uptime_seconds", time.Since(m.start).Seconds())
+
+	p.Header("hdserve_requests_total", "counter", "Scoring requests by route.")
+	p.Value("hdserve_requests_total", float64(m.scoreRequests.Load()), "route", "score")
+	p.Value("hdserve_requests_total", float64(m.batchRequests.Load()), "route", "score_batch")
+	p.Header("hdserve_records_scored_total", "counter", "Records scored across both routes.")
+	p.Value("hdserve_records_scored_total", float64(m.recordsScored.Load()))
+	p.Header("hdserve_validation_errors_total", "counter", "Requests rejected by schema validation.")
+	p.Value("hdserve_validation_errors_total", float64(m.validationErrs.Load()))
+	p.Header("hdserve_timeouts_total", "counter", "Requests abandoned on context expiry.")
+	p.Value("hdserve_timeouts_total", float64(m.timeouts.Load()))
+	p.Header("hdserve_errors_total", "counter", "Other 4xx/5xx responses.")
+	p.Value("hdserve_errors_total", float64(m.errors.Load()))
+	p.Header("hdserve_batches_total", "counter", "Microbatcher ScoreBatch calls.")
+	p.Value("hdserve_batches_total", float64(m.batches.Load()))
+	p.Header("hdserve_microbatched_records_total", "counter", "Records scored through the microbatcher.")
+	p.Value("hdserve_microbatched_records_total", float64(m.microbatchedRecords.Load()))
+
+	p.Header("hdserve_batcher_queue_depth", "gauge", "Requests waiting for the batch loop.")
+	p.Value("hdserve_batcher_queue_depth", float64(s.batcher.QueueDepth()))
+	p.Header("hdserve_batcher_accepting", "gauge", "1 while the batcher accepts requests, 0 once draining.")
+	accepting := 1.0
+	if s.batcher.Draining() {
+		accepting = 0
+	}
+	p.Value("hdserve_batcher_accepting", accepting)
+
+	p.Header("hdserve_batch_size", "histogram", "Microbatch sizes (records per ScoreBatch call).")
+	sizeCounts := make([]uint64, len(m.batchHist))
+	for i := range m.batchHist {
+		sizeCounts[i] = m.batchHist[i].Load()
+	}
+	p.Histogram("hdserve_batch_size", batchSizeBounds, sizeCounts,
+		float64(m.microbatchedRecords.Load()))
+
+	p.Header("hdserve_request_duration_seconds", "histogram", "End-to-end request latency.")
+	latBounds := make([]float64, numLatencyBuckets)
+	latCounts := make([]uint64, numLatencyBuckets+1)
+	for i := 0; i < numLatencyBuckets; i++ {
+		latBounds[i] = latencyBound(i).Seconds()
+		latCounts[i] = m.latencyHist[i].Load()
+	}
+	latCounts[numLatencyBuckets] = m.latencyHist[numLatencyBuckets].Load()
+	p.Histogram("hdserve_request_duration_seconds", latBounds, latCounts,
+		float64(m.latencySum.Load())/1e9)
+
+	p.Header("hdserve_stage_duration_seconds", "histogram",
+		"Per-request pipeline stage time (validate, batch_wait, encode, score, respond).")
+	stageBounds := make([]float64, obs.NumLatencyBuckets)
+	for i := range stageBounds {
+		stageBounds[i] = obs.LatencyBound(i).Seconds()
+	}
+	for _, st := range s.tracer.StageSnapshot() {
+		p.Histogram("hdserve_stage_duration_seconds", stageBounds, st.Buckets[:],
+			st.Sum.Seconds(), "stage", st.Stage)
+	}
+
+	p.GoRuntime()
+	if err := p.Err(); err != nil {
+		s.logger.Warn("metrics exposition failed", "err", err)
+	}
+}

@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"hdfe/internal/core"
+	"hdfe/internal/obs"
 )
 
 // Config tunes the scoring service. The zero value serves with the
@@ -34,6 +37,13 @@ type Config struct {
 	// of encoding them as the baseline codeword (the encode contract's
 	// NaN rule, and the default behaviour).
 	RejectMissing bool
+	// Logger receives structured request logs (default: discard).
+	Logger *slog.Logger
+	// TraceBuffer sizes the /debug/traces rings: that many most-recent
+	// and that many slowest traces are kept (default 64).
+	TraceBuffer int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +68,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
+	}
+	if c.TraceBuffer <= 0 {
+		c.TraceBuffer = 64
+	}
 	return c
 }
 
@@ -70,6 +86,8 @@ type Server struct {
 	val     *Validator
 	batcher *Batcher
 	metrics *Metrics
+	tracer  *obs.Tracer
+	logger  *slog.Logger
 	mux     *http.ServeMux
 }
 
@@ -84,12 +102,23 @@ func New(dep *core.Deployment, cfg Config) *Server {
 		val:     NewValidator(dep.Extractor.Codebook(), cfg.RejectMissing),
 		batcher: NewBatcher(dep, cfg.MaxBatch, cfg.MaxWait, m),
 		metrics: m,
+		tracer:  obs.NewTracer(cfg.TraceBuffer),
+		logger:  cfg.Logger,
 		mux:     http.NewServeMux(),
 	}
-	s.mux.HandleFunc("/v1/score", s.handleScore)
-	s.mux.HandleFunc("/v1/score/batch", s.handleScoreBatch)
+	s.mux.HandleFunc("/v1/score", s.traced("score", s.handleScore))
+	s.mux.HandleFunc("/v1/score/batch", s.traced("score_batch", s.handleScoreBatch))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics", s.handleMetricsProm)
+	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	s.mux.HandleFunc("/debug/traces", s.handleTraces)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -98,6 +127,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Metrics exposes the server's counters.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Tracer exposes the server's pipeline tracer.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Close drains and stops the microbatcher. Call after the HTTP listener
 // has stopped accepting requests (Serve does this in order).
@@ -125,6 +157,43 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return serveErr
 	}
 	return err
+}
+
+// statusWriter captures the response status for tracing and logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// traced wraps a scoring handler in the pipeline tracer and the request
+// logger: every request gets a trace ID, a per-stage span record folded
+// into the stage histograms and trace rings, and one structured log line.
+func (s *Server) traced(route string, h func(http.ResponseWriter, *http.Request, *obs.ActiveTrace)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		at := s.tracer.Start(route)
+		sw := statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(&sw, r, at)
+		t := at.Finish(sw.status)
+		lvl := slog.LevelInfo
+		switch {
+		case t.Status >= 500:
+			lvl = slog.LevelError
+		case t.Status >= 400:
+			lvl = slog.LevelWarn
+		}
+		s.logger.LogAttrs(r.Context(), lvl, "request",
+			slog.Uint64("trace_id", t.ID),
+			slog.String("route", route),
+			slog.Int("status", t.Status),
+			slog.Duration("latency", t.Total),
+			slog.Int("batch", t.Batch),
+		)
+	}
 }
 
 // scoreRequest is the body of POST /v1/score. Features are positional,
@@ -202,7 +271,7 @@ func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 }
 
 // handleScore scores one record through the microbatcher.
-func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request, at *obs.ActiveTrace) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
@@ -213,6 +282,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	row, warnings, err := s.val.Validate(req.Features, nil)
+	at.Step(obs.StageValidate)
 	if err != nil {
 		var verr *ValidationError
 		if errors.As(err, &verr) {
@@ -224,7 +294,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	score, err := s.batcher.Submit(ctx, row)
+	score, bt, err := s.batcher.SubmitTimed(ctx, row)
 	switch {
 	case errors.Is(err, ErrClosed):
 		s.metrics.errors.Add(1)
@@ -239,19 +309,27 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
+	// The batcher measured where the submit interval actually went; fold
+	// its breakdown in and restart the stage clock for the response.
+	at.Add(obs.StageBatchWait, bt.Wait)
+	at.Add(obs.StageEncode, bt.Encode)
+	at.Add(obs.StageScore, bt.Distance)
+	at.SetBatch(bt.Size)
+	at.Mark()
 	s.metrics.recordsScored.Add(1)
 	resp := scoreResponse{Score: score, Warnings: warnings}
 	if score >= 0.5 {
 		resp.Prediction = 1
 	}
 	writeJSON(w, http.StatusOK, resp)
+	at.Step(obs.StageRespond)
 	s.metrics.ObserveLatency(time.Since(start))
 }
 
 // handleScoreBatch scores an already-batched request directly through
 // Deployment.ScoreBatch — it is the client-side batching fast path and
 // does not pass through the microbatcher.
-func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request, at *obs.ActiveTrace) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
@@ -288,7 +366,14 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 			allWarnings = append(allWarnings, recordWarnings{Index: i, Warnings: warnings})
 		}
 	}
-	scores := s.dep.ScoreBatch(rows)
+	at.Step(obs.StageValidate)
+	var acc obs.StageAccum
+	scores := s.dep.ScoreBatchIntoObserved(rows, nil, &acc)
+	encTotal, distTotal, _ := acc.Totals()
+	at.Add(obs.StageEncode, encTotal)
+	at.Add(obs.StageScore, distTotal)
+	at.SetBatch(len(rows))
+	at.Mark()
 	preds := make([]int, len(scores))
 	for i, sc := range scores {
 		if sc >= 0.5 {
@@ -297,20 +382,41 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.recordsScored.Add(uint64(len(scores)))
 	writeJSON(w, http.StatusOK, batchScoreResponse{Scores: scores, Predictions: preds, Warnings: allWarnings})
+	at.Step(obs.StageRespond)
 	s.metrics.ObserveLatency(time.Since(start))
 }
 
-// handleHealthz reports liveness plus the fitted model's identity.
+// handleHealthz reports liveness, the fitted model's identity, and the
+// batcher state. While draining it answers 503 so load balancers pull
+// the instance before the listener disappears.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
+	w.Header().Set("Cache-Control", "no-store")
+	status, state, code := "ok", "accepting", http.StatusOK
+	if s.batcher.Draining() {
+		status, state, code = "draining", "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"batcher":  state,
 		"model":    s.cfg.ModelName,
 		"dim":      s.dep.Extractor.Dim(),
 		"features": s.val.FeatureNames(),
 	})
 }
 
-// handleMetrics serves the expvar-style counter snapshot.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// handleMetricsJSON serves the legacy expvar-style counter snapshot.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
 	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
+
+// handleTraces serves the tracer's rings: the most recent and the
+// slowest requests, each with a per-stage breakdown in microseconds.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	recent, slowest := s.tracer.TraceViews()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"recent":  recent,
+		"slowest": slowest,
+	})
 }

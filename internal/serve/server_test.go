@@ -183,7 +183,7 @@ func TestValidationErrorsOverHTTP(t *testing.T) {
 		t.Errorf("GET /v1/score: status %d", resp.StatusCode)
 	}
 	var snap Snapshot
-	resp, err = ts.Client().Get(ts.URL + "/metrics")
+	resp, err = ts.Client().Get(ts.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,6 +323,18 @@ func TestLoadConcurrentClients(t *testing.T) {
 	}
 	if snap.MeanBatchSize <= 1.0 {
 		t.Errorf("mean batch size %v, want > 1 under %d concurrent clients", snap.MeanBatchSize, clients)
+	}
+	// The tracer ran for every one of those bit-identical responses: all
+	// 32k requests crossed every pipeline stage, so concurrent scoring
+	// under the tracer is exactly untraced scoring plus accounting.
+	for _, st := range s.Tracer().StageSnapshot() {
+		if st.Count != clients*perClient {
+			t.Errorf("stage %s observed %d requests, want %d", st.Stage, st.Count, clients*perClient)
+		}
+	}
+	recent, slowest := s.Tracer().TraceViews()
+	if len(recent) == 0 || len(slowest) == 0 {
+		t.Errorf("trace rings empty after load: recent=%d slowest=%d", len(recent), len(slowest))
 	}
 	t.Logf("load: %s", snap)
 }

@@ -10,6 +10,7 @@ import (
 	"hdfe/internal/core"
 	"hdfe/internal/hv"
 	"hdfe/internal/ml/nn"
+	"hdfe/internal/obs"
 )
 
 // RuntimeRow is one model's fit-time comparison between raw features and
@@ -43,6 +44,29 @@ type RuntimeResult struct {
 	// Encode compares the legacy value-returning encode path against the
 	// destination-passing (Into) path on the same dataset.
 	Encode EncodePathStats
+	// Stages splits the serving path's per-record cost into hypervector
+	// encoding vs Hamming-distance scoring, measured through the
+	// core.StageObserver seam (the same split hdserve exports at
+	// /metrics), so BENCH trajectories can attribute a regression to a
+	// stage instead of just "scoring got slower".
+	Stages StageSplitStats
+}
+
+// StageSplitStats is the per-record encode/distance breakdown of
+// Deployment scoring.
+type StageSplitStats struct {
+	Records        int           `json:"records"`
+	EncodePerRec   time.Duration `json:"encode_ns_per_record"`
+	DistancePerRec time.Duration `json:"distance_ns_per_record"`
+}
+
+// EncodeShare returns encode time as a fraction of total scoring time.
+func (s StageSplitStats) EncodeShare() float64 {
+	total := s.EncodePerRec + s.DistancePerRec
+	if total <= 0 {
+		return 0
+	}
+	return float64(s.EncodePerRec) / float64(total)
 }
 
 // EncodePathStats reports per-record cost of batch encoding: the legacy
@@ -143,6 +167,28 @@ func Runtime(cfg Config) (*RuntimeResult, error) {
 		LegacyAllocsRec: legacyAllocs / float64(n),
 		IntoAllocsRec:   intoAllocs / float64(n),
 	}
+
+	// Serving-path stage split: score the dataset through the observed
+	// Deployment path and attribute per-record cost to encode vs distance.
+	dep, err := core.BuildDeployment(core.SpecsFor(d.Features), d.X, d.Y, hdOptions(cfg, 0))
+	if err != nil {
+		return nil, err
+	}
+	var acc obs.StageAccum
+	scores := make([]float64, n)
+	dep.ScoreBatchIntoObserved(d.X, scores, &acc) // warm pools before measuring
+	acc.Reset()
+	for p := 0; p < passes; p++ {
+		dep.ScoreBatchIntoObserved(d.X, scores, &acc)
+	}
+	encTotal, distTotal, records := acc.Totals()
+	if records > 0 {
+		res.Stages = StageSplitStats{
+			Records:        n,
+			EncodePerRec:   encTotal / time.Duration(records),
+			DistancePerRec: distTotal / time.Duration(records),
+		}
+	}
 	return res, nil
 }
 
@@ -164,4 +210,9 @@ func RenderRuntime(w io.Writer, res *RuntimeResult) {
 	fmt.Fprintf(w, "\nEncode path — batch encoding of %d records (per record)\n", e.Records)
 	fmt.Fprintf(w, "  legacy (alloc per record): %v, %.1f allocs\n", e.LegacyPerRec, e.LegacyAllocsRec)
 	fmt.Fprintf(w, "  Into   (recycled buffers): %v, %.2f allocs\n", e.IntoPerRec, e.IntoAllocsRec)
+
+	st := res.Stages
+	fmt.Fprintf(w, "\nServing stage split — Deployment scoring of %d records (per record)\n", st.Records)
+	fmt.Fprintf(w, "  encode:   %v (%.0f%%)\n", st.EncodePerRec, 100*st.EncodeShare())
+	fmt.Fprintf(w, "  distance: %v (%.0f%%)\n", st.DistancePerRec, 100*(1-st.EncodeShare()))
 }

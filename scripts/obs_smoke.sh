@@ -1,0 +1,83 @@
+#!/bin/sh
+# obs_smoke.sh boots hdserve against the demo model and asserts the
+# observability surface end to end: a JSON "serving" log line with the
+# bound address, a successful /v1/score round trip, and a /metrics
+# exposition carrying every metric family dashboards key on. Run via
+# `make obs-smoke`.
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+TMP=$(mktemp -d)
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
+
+cd "$ROOT"
+go build -o "$TMP/hdserve" ./cmd/hdserve
+
+"$TMP/hdserve" -demo -dim 256 -addr 127.0.0.1:0 -log-format json \
+    >"$TMP/stdout.log" 2>"$TMP/stderr.log" &
+SERVER_PID=$!
+
+# The "serving" slog line carries the real port (we bound port 0).
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/.*"msg":"serving".*"addr":"\([^"]*\)".*/\1/p' "$TMP/stdout.log" | head -n1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || {
+        echo "obs-smoke: hdserve exited early" >&2
+        cat "$TMP/stdout.log" "$TMP/stderr.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "obs-smoke: server never logged its address" >&2
+    cat "$TMP/stdout.log" "$TMP/stderr.log" >&2
+    exit 1
+fi
+echo "obs-smoke: serving on $ADDR"
+
+SCORE=$(curl -sSf -X POST "http://$ADDR/v1/score" \
+    -H 'Content-Type: application/json' \
+    -d '{"features":[2,120,70,25,100,30.5,0.4,40]}')
+echo "obs-smoke: score response $SCORE"
+case "$SCORE" in
+*'"score"'*) ;;
+*)
+    echo "obs-smoke: /v1/score response missing score field" >&2
+    exit 1
+    ;;
+esac
+
+curl -sSf "http://$ADDR/metrics" >"$TMP/metrics.txt"
+for name in \
+    hdserve_build_info \
+    hdserve_requests_total \
+    hdserve_records_scored_total \
+    hdserve_batch_size_bucket \
+    hdserve_request_duration_seconds_bucket \
+    hdserve_stage_duration_seconds_bucket \
+    hdserve_batcher_queue_depth \
+    go_goroutines; do
+    if ! grep -q "^$name" "$TMP/metrics.txt"; then
+        echo "obs-smoke: /metrics missing $name" >&2
+        cat "$TMP/metrics.txt" >&2
+        exit 1
+    fi
+done
+
+# Every pipeline stage must be represented after one scored request.
+for stage in validate batch_wait encode score respond; do
+    if ! grep -q "stage=\"$stage\"" "$TMP/metrics.txt"; then
+        echo "obs-smoke: /metrics missing stage=\"$stage\"" >&2
+        exit 1
+    fi
+done
+
+curl -sSf "http://$ADDR/debug/traces" | grep -q '"recent"' || {
+    echo "obs-smoke: /debug/traces missing recent ring" >&2
+    exit 1
+}
+
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+echo "obs-smoke: OK"
