@@ -1,0 +1,345 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hdfe/internal/core"
+	"hdfe/internal/hv"
+	"hdfe/internal/serve"
+	"hdfe/internal/synth"
+)
+
+// benchSchemaVersion identifies the BENCH_*.json layout so trend tooling
+// can refuse to diff incompatible files.
+const benchSchemaVersion = 1
+
+// benchConfig records what the benchmark actually ran.
+type benchConfig struct {
+	Dim     int    `json:"dim"`
+	Seed    uint64 `json:"seed"`
+	Records int    `json:"records"`
+	Quick   bool   `json:"quick"`
+}
+
+// stageStats is one hot-path stage's throughput summary.
+type stageStats struct {
+	NsPerRecord     float64 `json:"ns_per_record"`
+	RecordsPerSec   float64 `json:"records_per_sec"`
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+}
+
+// serveStats summarizes the HTTP serving benchmark.
+type serveStats struct {
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	P50Micros      float64 `json:"p50_us"`
+	P99Micros      float64 `json:"p99_us"`
+	MeanBatch      float64 `json:"mean_batch"`
+}
+
+// benchReport is the BENCH_*.json schema: the benchmark trajectory
+// artifact one per PR, diffed by scripts/bench_trend.sh.
+type benchReport struct {
+	SchemaVersion int         `json:"schema_version"`
+	Config        benchConfig `json:"config"`
+	Encode        stageStats  `json:"encode"`
+	ScoreBatch    stageStats  `json:"score_batch"`
+	Serve         serveStats  `json:"serve"`
+}
+
+// runBenchJSON measures the three hot paths (record encode, batch
+// scoring, HTTP serving) and writes the schema-versioned report to
+// jsonOut (auto-numbered BENCH_<n>.json in the working directory when
+// empty).
+func runBenchJSON(dim int, seed uint64, quick bool, jsonOut string, stdout io.Writer) error {
+	if dim == 0 {
+		dim = 10000
+		if quick {
+			dim = 2048
+		}
+	}
+	d := synth.PimaM(seed)
+	dep, err := core.BuildDeployment(core.SpecsFor(d.Features), d.X, d.Y, core.Options{Dim: dim, Seed: seed})
+	if err != nil {
+		return err
+	}
+	rep := benchReport{
+		SchemaVersion: benchSchemaVersion,
+		Config:        benchConfig{Dim: dim, Seed: seed, Records: len(d.X), Quick: quick},
+	}
+
+	passes := 20
+	if quick {
+		passes = 3
+	}
+
+	// Encode: the zero-allocation per-record path hdserve's batcher uses.
+	rep.Encode = timeStage(passes, len(d.X), func() {
+		s := hv.GetScratch(dep.Extractor.Dim())
+		rec := s.Rec()
+		for _, row := range d.X {
+			dep.Extractor.TransformRecordInto(row, rec, s)
+		}
+		hv.PutScratch(s)
+	})
+
+	// Score batch: the bulk path behind /v1/score/batch.
+	dst := make([]float64, len(d.X))
+	rep.ScoreBatch = timeStage(passes, len(d.X), func() {
+		dep.ScoreBatchInto(d.X, dst)
+	})
+
+	// Serve: concurrent single-record requests through the full HTTP
+	// stack, microbatcher included.
+	sv, err := benchServe(dep, d.X, quick)
+	if err != nil {
+		return err
+	}
+	rep.Serve = sv
+
+	if jsonOut == "" {
+		if jsonOut, err = nextBenchPath("."); err != nil {
+			return err
+		}
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(jsonOut, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s (schema v%d, dim=%d, %d records)\n",
+		jsonOut, benchSchemaVersion, dim, len(d.X))
+	return nil
+}
+
+// timeStage runs fn passes times over records-many rows, measuring wall
+// time and heap allocations (runtime.MemStats Mallocs delta).
+func timeStage(passes, records int, fn func()) stageStats {
+	fn() // warm pools and caches outside the measurement
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < passes; i++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	total := float64(passes * records)
+	return stageStats{
+		NsPerRecord:     float64(elapsed.Nanoseconds()) / total,
+		RecordsPerSec:   total / elapsed.Seconds(),
+		AllocsPerRecord: float64(after.Mallocs-before.Mallocs) / total,
+	}
+}
+
+// benchServe drives concurrent scoring requests through an httptest
+// server and reads the latency quantiles from the server's own metrics.
+func benchServe(dep *core.Deployment, X [][]float64, quick bool) (serveStats, error) {
+	srv := serve.New(dep, serve.Config{MaxWait: 500 * time.Microsecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	bodies := make([][]byte, len(X))
+	for i, row := range X {
+		b, err := json.Marshal(map[string]any{"features": row})
+		if err != nil {
+			return serveStats{}, err
+		}
+		bodies[i] = b
+	}
+	workers := 8
+	perWorker := 250
+	if quick {
+		workers, perWorker = 4, 50
+	}
+	client := ts.Client()
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				body := bodies[(w*perWorker+i)%len(bodies)]
+				resp, err := client.Post(ts.URL+"/v1/score", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errc <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("score status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errc:
+		return serveStats{}, err
+	default:
+	}
+	snap := srv.Metrics().Snapshot()
+	return serveStats{
+		RequestsPerSec: float64(workers*perWorker) / elapsed.Seconds(),
+		P50Micros:      snap.LatencyP50Micros,
+		P99Micros:      snap.LatencyP99Micros,
+		MeanBatch:      snap.MeanBatchSize,
+	}, nil
+}
+
+// benchNumRe-free scan: BENCH_<n>.json files numbered by integer suffix.
+func benchNumber(name string) (int, bool) {
+	rest, ok := strings.CutPrefix(name, "BENCH_")
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, ".json")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// nextBenchPath returns BENCH_<max+1>.json in dir (BENCH_1.json when the
+// directory has none).
+func nextBenchPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	max := 0
+	for _, e := range entries {
+		if n, ok := benchNumber(e.Name()); ok && n > max {
+			max = n
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", max+1)), nil
+}
+
+// readBench loads and validates one BENCH_*.json file.
+func readBench(path string) (benchReport, error) {
+	var rep benchReport
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.SchemaVersion != benchSchemaVersion {
+		return rep, fmt.Errorf("%s: schema version %d, tool speaks %d", path, rep.SchemaVersion, benchSchemaVersion)
+	}
+	return rep, nil
+}
+
+// trendRow is one metric's before/after comparison. For lowerIsBetter
+// metrics (latencies, allocs) a positive delta is a regression; for
+// throughput metrics the sign flips.
+type trendRow struct {
+	name          string
+	prev, latest  float64
+	lowerIsBetter bool
+}
+
+// runBenchTrend prints the metric-by-metric delta between two benchmark
+// reports, flagging >10% regressions. It always exits zero: machine
+// noise on shared CI runners makes a hard gate flakier than it is
+// useful, so the trend is advisory.
+func runBenchTrend(prevPath, latestPath string, stdout io.Writer) error {
+	prev, err := readBench(prevPath)
+	if err != nil {
+		return err
+	}
+	latest, err := readBench(latestPath)
+	if err != nil {
+		return err
+	}
+	if prev.Config.Quick != latest.Config.Quick || prev.Config.Dim != latest.Config.Dim {
+		fmt.Fprintf(stdout, "note: configs differ (dim %d/%d, quick %v/%v) — deltas are indicative only\n",
+			prev.Config.Dim, latest.Config.Dim, prev.Config.Quick, latest.Config.Quick)
+	}
+	rows := []trendRow{
+		{"encode.ns_per_record", prev.Encode.NsPerRecord, latest.Encode.NsPerRecord, true},
+		{"encode.allocs_per_record", prev.Encode.AllocsPerRecord, latest.Encode.AllocsPerRecord, true},
+		{"score_batch.ns_per_record", prev.ScoreBatch.NsPerRecord, latest.ScoreBatch.NsPerRecord, true},
+		{"score_batch.allocs_per_record", prev.ScoreBatch.AllocsPerRecord, latest.ScoreBatch.AllocsPerRecord, true},
+		{"serve.requests_per_sec", prev.Serve.RequestsPerSec, latest.Serve.RequestsPerSec, false},
+		{"serve.p50_us", prev.Serve.P50Micros, latest.Serve.P50Micros, true},
+		{"serve.p99_us", prev.Serve.P99Micros, latest.Serve.P99Micros, true},
+	}
+	fmt.Fprintf(stdout, "benchmark trend: %s -> %s\n", filepath.Base(prevPath), filepath.Base(latestPath))
+	fmt.Fprintf(stdout, "%-32s %14s %14s %9s\n", "metric", "prev", "latest", "delta")
+	regressions := 0
+	for _, r := range rows {
+		var pct float64
+		if r.prev != 0 {
+			pct = (r.latest - r.prev) / r.prev * 100
+		}
+		flag := ""
+		worse := pct
+		if !r.lowerIsBetter {
+			worse = -pct
+		}
+		if r.prev != 0 && worse > 10 {
+			flag = "  << regression"
+			regressions++
+		}
+		fmt.Fprintf(stdout, "%-32s %14.4g %14.4g %+8.1f%%%s\n", r.name, r.prev, r.latest, pct, flag)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "%d metric(s) regressed >10%% (advisory, not blocking)\n", regressions)
+	} else {
+		fmt.Fprintln(stdout, "no >10% regressions")
+	}
+	return nil
+}
+
+// sortedBenchPaths returns dir's BENCH_*.json files in numeric order
+// (used by tests; bench_trend.sh does the same in shell).
+func sortedBenchPaths(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type numbered struct {
+		n    int
+		path string
+	}
+	var found []numbered
+	for _, e := range entries {
+		if n, ok := benchNumber(e.Name()); ok {
+			found = append(found, numbered{n, filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].n < found[j].n })
+	paths := make([]string, len(found))
+	for i, f := range found {
+		paths[i] = f.path
+	}
+	return paths, nil
+}

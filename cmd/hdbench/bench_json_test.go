@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchJSONRoundTrip runs the quick benchmark to a file and checks
+// the report parses, carries the schema version, and has sane values.
+func TestBenchJSONRoundTrip(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_1.json")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-json", "-quick", "-dim", "256", "-json-out", out}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "wrote "+out) {
+		t.Errorf("stdout %q does not name the output file", stdout.String())
+	}
+	rep, err := readBench(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != benchSchemaVersion {
+		t.Errorf("schema version %d", rep.SchemaVersion)
+	}
+	if rep.Config.Dim != 256 || !rep.Config.Quick || rep.Config.Records != 768 {
+		t.Errorf("config %+v", rep.Config)
+	}
+	if rep.Encode.NsPerRecord <= 0 || rep.Encode.RecordsPerSec <= 0 {
+		t.Errorf("encode stats %+v", rep.Encode)
+	}
+	// The Into paths are the zero-allocation contract: steady state must
+	// stay under one allocation per record.
+	if rep.Encode.AllocsPerRecord > 1 {
+		t.Errorf("encode allocates %v per record", rep.Encode.AllocsPerRecord)
+	}
+	if rep.ScoreBatch.NsPerRecord <= 0 {
+		t.Errorf("score_batch stats %+v", rep.ScoreBatch)
+	}
+	if rep.Serve.RequestsPerSec <= 0 || rep.Serve.P99Micros < rep.Serve.P50Micros {
+		t.Errorf("serve stats %+v", rep.Serve)
+	}
+	if rep.Serve.MeanBatch < 1 {
+		t.Errorf("mean batch %v, want >= 1", rep.Serve.MeanBatch)
+	}
+}
+
+// TestBenchTrend diffs two synthetic reports and checks regressions are
+// flagged (but not fatal), and that schema/arg errors are.
+func TestBenchTrend(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep benchReport) string {
+		t.Helper()
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := benchReport{
+		SchemaVersion: benchSchemaVersion,
+		Config:        benchConfig{Dim: 256, Seed: 42, Records: 768, Quick: true},
+		Encode:        stageStats{NsPerRecord: 1000, RecordsPerSec: 1e6, AllocsPerRecord: 0},
+		ScoreBatch:    stageStats{NsPerRecord: 1200, RecordsPerSec: 8e5, AllocsPerRecord: 0},
+		Serve:         serveStats{RequestsPerSec: 5000, P50Micros: 200, P99Micros: 900, MeanBatch: 3},
+	}
+	slower := base
+	slower.Encode.NsPerRecord = 1500 // +50%: must be flagged
+	slower.Serve.RequestsPerSec = 6000
+
+	prev := write("BENCH_1.json", base)
+	latest := write("BENCH_2.json", slower)
+
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-trend", prev, latest}, &stdout, &stderr); err != nil {
+		t.Fatalf("trend with a regression must not fail: %v", err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "encode.ns_per_record") || !strings.Contains(out, "<< regression") {
+		t.Errorf("trend output missing the flagged regression:\n%s", out)
+	}
+	if !strings.Contains(out, "1 metric(s) regressed") {
+		t.Errorf("trend output missing the summary line:\n%s", out)
+	}
+
+	stdout.Reset()
+	if err := run([]string{"-trend", latest, latest}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "no >10% regressions") {
+		t.Errorf("self-diff output:\n%s", stdout.String())
+	}
+
+	// Arg and schema errors are hard failures.
+	if err := run([]string{"-trend", prev}, &stdout, &stderr); err == nil {
+		t.Error("-trend with one path accepted")
+	}
+	bad := base
+	bad.SchemaVersion = 99
+	badPath := write("BENCH_3.json", bad)
+	if err := run([]string{"-trend", prev, badPath}, &stdout, &stderr); err == nil {
+		t.Error("mismatched schema version accepted")
+	}
+}
+
+// TestNextBenchPath pins the auto-numbering: max+1, starting at 1.
+func TestNextBenchPath(t *testing.T) {
+	dir := t.TempDir()
+	path, err := nextBenchPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_1.json" {
+		t.Errorf("empty dir -> %s, want BENCH_1.json", path)
+	}
+	for _, name := range []string{"BENCH_2.json", "BENCH_7.json", "BENCH_x.json", "bench_9.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, err = nextBenchPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_8.json" {
+		t.Errorf("got %s, want BENCH_8.json (max numbered is 7)", path)
+	}
+	paths, err := sortedBenchPaths(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 || filepath.Base(paths[0]) != "BENCH_2.json" || filepath.Base(paths[1]) != "BENCH_7.json" {
+		t.Errorf("sorted bench paths %v", paths)
+	}
+}

@@ -5,6 +5,9 @@
 //
 //	hdserve -model dep.bin [-addr :8080] [-name pima] [-max-batch 32]
 //	        [-max-wait 2ms] [-timeout 5s] [-reject-missing]
+//	        [-reject-out-of-range] [-psi-warn 0.25] [-clamp-warn 0.01]
+//	        [-score-window 4096] [-feedback-cap 4096]
+//	        [-quality-window 1024] [-quality-tol 0.05]
 //	        [-log-format text|json] [-log-level info] [-pprof]
 //	hdserve -demo [-addr :8080] [-dim 10000] [-seed 42]
 //	hdserve -write-demo dep.bin [-dim 10000] [-seed 42]
@@ -20,6 +23,14 @@
 // /metrics serves Prometheus text format, /metrics.json the legacy JSON
 // snapshot, /debug/traces the recent and slowest per-stage request
 // traces, and -pprof mounts net/http/pprof under /debug/pprof/.
+//
+// Model observability: the server monitors input drift (per-feature PSI
+// against the training reference stored in the deployment), prediction
+// drift (rolling score window), and delayed-label quality (POST
+// ground-truth labels to /v1/feedback using the request_id from scoring
+// responses). /debug/drift reports everything as JSON; hdfe_drift_* and
+// hdfe_quality_* families land in /metrics; threshold crossings warn in
+// the structured log.
 package main
 
 import (
@@ -64,6 +75,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		maxWait       = fs.Duration("max-wait", 2*time.Millisecond, "microbatch wait before scoring a partial batch")
 		timeout       = fs.Duration("timeout", 5*time.Second, "per-request timeout")
 		rejectMissing = fs.Bool("reject-missing", false, "reject null feature values instead of encoding them as missing")
+		rejectRange   = fs.Bool("reject-out-of-range", false, "reject values outside the fitted range instead of clamp-and-warn")
+		psiWarn       = fs.Float64("psi-warn", 0.25, "per-feature PSI threshold for input drift warnings")
+		clampWarn     = fs.Float64("clamp-warn", 0.01, "out-of-range ratio threshold for clamp warnings")
+		scoreWindow   = fs.Int("score-window", 4096, "rolling score window size for prediction drift")
+		feedbackCap   = fs.Int("feedback-cap", 4096, "prediction ring capacity for /v1/feedback joins")
+		qualityWindow = fs.Int("quality-window", 1024, "rolling labeled-outcome window for the quality canary")
+		qualityTol    = fs.Float64("quality-tol", 0.05, "accuracy drop below the LOOCV baseline before the canary degrades")
 		logFormat     = fs.String("log-format", "text", "structured log format: text or json")
 		logLevel      = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		pprofFlag     = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -121,13 +139,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	srv := serve.New(dep, serve.Config{
-		ModelName:      modelName,
-		MaxBatch:       *maxBatch,
-		MaxWait:        *maxWait,
-		RequestTimeout: *timeout,
-		RejectMissing:  *rejectMissing,
-		Logger:         logger,
-		EnablePprof:    *pprofFlag,
+		ModelName:        modelName,
+		MaxBatch:         *maxBatch,
+		MaxWait:          *maxWait,
+		RequestTimeout:   *timeout,
+		RejectMissing:    *rejectMissing,
+		RejectOutOfRange: *rejectRange,
+		PSIWarn:          *psiWarn,
+		ClampWarn:        *clampWarn,
+		ScoreWindow:      *scoreWindow,
+		FeedbackCapacity: *feedbackCap,
+		QualityWindow:    *qualityWindow,
+		QualityTolerance: *qualityTol,
+		Logger:           logger,
+		EnablePprof:      *pprofFlag,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -7,8 +7,10 @@ import (
 	"os"
 	"path/filepath"
 
+	"hdfe/internal/drift"
 	"hdfe/internal/encode"
 	"hdfe/internal/hv"
+	"hdfe/internal/ml/hamming"
 	"hdfe/internal/parallel"
 )
 
@@ -17,17 +19,33 @@ import (
 // once on the training machine, it lets any scoring endpoint encode a new
 // patient and produce a risk score with no access to the training data —
 // the deployment story of the paper's §III.B.
+//
+// Ref, when present, carries the training-time reference the serving
+// stack's drift monitoring compares live traffic against: per-feature
+// histograms of the training matrix plus the LOOCV quality baseline.
+// Deployments written before the v2 layout load with Ref nil, which
+// disables input-drift monitoring but changes nothing else.
 type Deployment struct {
 	Extractor *Extractor
 	NegProto  hv.Vector
 	PosProto  hv.Vector
+	Ref       *drift.Reference
 }
 
-// deployMagic versions the serialized deployment layout.
-const deployMagic = "HDFEDEP1\n"
+// deployMagicV1 and deployMagicV2 version the serialized deployment
+// layout. V2 appends an optional drift-reference block after the
+// prototypes; V1 files remain readable (Ref stays nil).
+const (
+	deployMagicV1 = "HDFEDEP1\n"
+	deployMagicV2 = "HDFEDEP2\n"
+)
 
 // BuildDeployment fits an extractor on the labelled dataset rows and
-// bundles class prototypes from the encoded records.
+// bundles class prototypes from the encoded records. It also captures
+// the drift reference: per-feature training histograms and the
+// leave-one-out 1-NN Hamming accuracy over the encoded cohort (the
+// paper's validation protocol), which serving uses as the delayed-label
+// canary baseline.
 func BuildDeployment(specs []encode.Spec, X [][]float64, y []int, opts Options) (*Deployment, error) {
 	ext := NewExtractor(opts)
 	if err := ext.Fit(specs, X); err != nil {
@@ -35,7 +53,23 @@ func BuildDeployment(specs []encode.Spec, X [][]float64, y []int, opts Options) 
 	}
 	vs := ext.Transform(X)
 	neg, pos := Prototypes(vs, y, opts.Tie)
-	return &Deployment{Extractor: ext, NegProto: neg, PosProto: pos}, nil
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	posCount := 0
+	for _, label := range y {
+		if label == 1 {
+			posCount++
+		}
+	}
+	base := drift.Baseline{
+		LOOCVAccuracy: hamming.LeaveOneOut(vs, y).Accuracy(),
+		TrainRecords:  len(y),
+		PosRate:       float64(posCount) / float64(len(y)),
+	}
+	ref := drift.BuildReference(names, X, drift.DefaultBins, base)
+	return &Deployment{Extractor: ext, NegProto: neg, PosProto: pos, Ref: ref}, nil
 }
 
 // Score encodes one patient record and returns its risk score in [0, 1].
@@ -89,23 +123,38 @@ func (d *Deployment) Predict(row []float64) int {
 	return 0
 }
 
-// WriteTo serializes the deployment (codebook + prototypes).
+// WriteTo serializes the deployment (codebook + prototypes + optional
+// drift reference) in the v2 layout.
 func (d *Deployment) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var n int64
-	if _, err := bw.WriteString(deployMagic); err != nil {
+	if _, err := bw.WriteString(deployMagicV2); err != nil {
 		return n, err
 	}
 	cbBytes, err := d.Extractor.Codebook().WriteTo(bw)
 	if err != nil {
 		return n, fmt.Errorf("core: writing codebook: %w", err)
 	}
-	n += int64(len(deployMagic)) + cbBytes
+	n += int64(len(deployMagicV2)) + cbBytes
 	if err := hv.WriteVector(bw, d.NegProto); err != nil {
 		return n, err
 	}
 	if err := hv.WriteVector(bw, d.PosProto); err != nil {
 		return n, err
+	}
+	hasRef := byte(0)
+	if d.Ref != nil {
+		hasRef = 1
+	}
+	if err := bw.WriteByte(hasRef); err != nil {
+		return n, err
+	}
+	if d.Ref != nil {
+		refBytes, err := d.Ref.WriteTo(bw)
+		n += refBytes
+		if err != nil {
+			return n, fmt.Errorf("core: writing drift reference: %w", err)
+		}
 	}
 	if err := bw.Flush(); err != nil {
 		return n, err
@@ -113,14 +162,18 @@ func (d *Deployment) WriteTo(w io.Writer) (int64, error) {
 	return n, nil
 }
 
-// ReadDeployment deserializes a deployment written by WriteTo.
+// ReadDeployment deserializes a deployment written by WriteTo. Both the
+// v1 layout (no drift reference — Ref stays nil, drift monitoring
+// disabled) and the v2 layout are accepted, so model artifacts written
+// by older builds keep serving.
 func ReadDeployment(r io.Reader) (*Deployment, error) {
 	br := bufio.NewReader(r)
-	magic := make([]byte, len(deployMagic))
+	magic := make([]byte, len(deployMagicV2))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("core: reading deployment magic: %w", err)
 	}
-	if string(magic) != deployMagic {
+	version := string(magic)
+	if version != deployMagicV1 && version != deployMagicV2 {
 		return nil, fmt.Errorf("core: bad deployment magic %q", magic)
 	}
 	cb, err := encode.ReadCodebook(br)
@@ -139,6 +192,26 @@ func ReadDeployment(r io.Reader) (*Deployment, error) {
 		return nil, fmt.Errorf("core: prototype dims %d/%d do not match codebook dim %d",
 			neg.Dim(), pos.Dim(), cb.Dim())
 	}
+	var ref *drift.Reference
+	if version == deployMagicV2 {
+		hasRef, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("core: reading drift reference flag: %w", err)
+		}
+		switch hasRef {
+		case 0:
+		case 1:
+			if ref, err = drift.ReadReference(br); err != nil {
+				return nil, fmt.Errorf("core: reading drift reference: %w", err)
+			}
+			if len(ref.Features) != cb.NumFeatures() {
+				return nil, fmt.Errorf("core: drift reference has %d features, codebook %d",
+					len(ref.Features), cb.NumFeatures())
+			}
+		default:
+			return nil, fmt.Errorf("core: bad drift reference flag %d", hasRef)
+		}
+	}
 	return &Deployment{
 		// The codebook serializes tie and mode alongside the encoders, so a
 		// reloaded deployment carries the full fitted configuration (Seed is
@@ -146,6 +219,7 @@ func ReadDeployment(r io.Reader) (*Deployment, error) {
 		Extractor: &Extractor{opts: Options{Dim: cb.Dim(), Tie: cb.Tie(), Mode: cb.Mode()}, cb: cb},
 		NegProto:  neg,
 		PosProto:  pos,
+		Ref:       ref,
 	}, nil
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -9,6 +10,10 @@ import (
 	"hdfe/internal/encode"
 	"hdfe/internal/hv"
 )
+
+// goldenV1Score is the pinned score of row {1, 0.5} under the committed
+// testdata/dep_v1_golden.bin artifact (see testdata/gen_golden.go).
+const goldenV1Score = 0.5714285714285714
 
 func TestDeploymentScoreSeparates(t *testing.T) {
 	d := toyDataset()
@@ -55,6 +60,70 @@ func TestDeploymentRoundTrip(t *testing.T) {
 	if !back.NegProto.Equal(dep.NegProto) || !back.PosProto.Equal(dep.PosProto) {
 		t.Fatal("prototypes changed after round trip")
 	}
+	// The drift reference block must survive: same histograms, same
+	// baseline — serving rebuilds its monitor from this.
+	if back.Ref == nil {
+		t.Fatal("drift reference lost in round trip")
+	}
+	if back.Ref.Baseline != dep.Ref.Baseline {
+		t.Fatalf("baseline changed: %+v vs %+v", back.Ref.Baseline, dep.Ref.Baseline)
+	}
+	if len(back.Ref.Features) != len(dep.Ref.Features) {
+		t.Fatalf("reference features %d, want %d", len(back.Ref.Features), len(dep.Ref.Features))
+	}
+	for j := range dep.Ref.Features {
+		w, g := dep.Ref.Features[j], back.Ref.Features[j]
+		if g.Name != w.Name || g.Min != w.Min || g.Max != w.Max || g.Observed != w.Observed {
+			t.Errorf("reference feature %d: got %+v want %+v", j, g, w)
+		}
+	}
+}
+
+// TestBuildDeploymentReference pins the fit-time drift capture: the
+// reference describes the training matrix and the baseline matches an
+// independently computed LOOCV over the same encoding.
+func TestBuildDeploymentReference(t *testing.T) {
+	d := toyDataset()
+	dep, err := BuildDeployment(SpecsFor(d.Features), d.X, d.Y, Options{Dim: 1024, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := dep.Ref
+	if ref == nil {
+		t.Fatal("BuildDeployment produced no drift reference")
+	}
+	if len(ref.Features) != len(d.Features) {
+		t.Fatalf("reference has %d features, dataset %d", len(ref.Features), len(d.Features))
+	}
+	for j, f := range ref.Features {
+		if f.Name != d.Features[j].Name {
+			t.Errorf("feature %d name %q, want %q", j, f.Name, d.Features[j].Name)
+		}
+		if f.Observed+f.Missing != uint64(d.Len()) {
+			t.Errorf("feature %d mass %d+%d, want %d", j, f.Observed, f.Missing, d.Len())
+		}
+	}
+	b := ref.Baseline
+	if b.TrainRecords != d.Len() || b.LOOCVAccuracy <= 0.5 || b.LOOCVAccuracy > 1 {
+		t.Errorf("baseline %+v", b)
+	}
+	if b.PosRate <= 0 || b.PosRate >= 1 {
+		t.Errorf("pos rate %v", b.PosRate)
+	}
+	// A deployment without a reference (legacy load path) must still
+	// serialize and reload cleanly with the flag byte at 0.
+	dep.Ref = nil
+	var buf bytes.Buffer
+	if _, err := dep.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDeployment(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Ref != nil {
+		t.Fatal("nil reference round-tripped as non-nil")
+	}
 }
 
 func TestDeploymentSaveLoadFile(t *testing.T) {
@@ -88,10 +157,74 @@ func TestDeploymentSaveLoadFile(t *testing.T) {
 }
 
 func TestReadDeploymentRejectsGarbage(t *testing.T) {
-	for i, in := range []string{"", "WRONGMAGIC", deployMagic} {
+	for i, in := range []string{"", "WRONGMAGIC", deployMagicV1, deployMagicV2} {
 		if _, err := ReadDeployment(strings.NewReader(in)); err == nil {
 			t.Errorf("case %d accepted", i)
 		}
+	}
+}
+
+// TestReadDeploymentV1Compat writes the legacy v1 layout (magic +
+// codebook + prototypes, no drift block) and checks it still loads:
+// scores identical, Ref nil so drift monitoring is simply off.
+func TestReadDeploymentV1Compat(t *testing.T) {
+	d := toyDataset()
+	dep, err := BuildDeployment(SpecsFor(d.Features), d.X, d.Y, Options{Dim: 1024, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.WriteString(deployMagicV1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.Extractor.Codebook().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := hv.WriteVector(&buf, dep.NegProto); err != nil {
+		t.Fatal(err)
+	}
+	if err := hv.WriteVector(&buf, dep.PosProto); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDeployment(&buf)
+	if err != nil {
+		t.Fatalf("v1 layout rejected: %v", err)
+	}
+	if back.Ref != nil {
+		t.Fatal("v1 deployment produced a drift reference from nowhere")
+	}
+	for _, row := range d.X {
+		if back.Score(row) != dep.Score(row) {
+			t.Fatal("v1-loaded deployment scores differently")
+		}
+	}
+}
+
+// TestReadDeploymentV1Golden loads a committed v1 artifact, guarding
+// against any future change that would strand model files written by
+// older builds. Regenerate (only if the v1 reader is intentionally
+// dropped) with the writer in TestReadDeploymentV1Compat.
+func TestReadDeploymentV1Golden(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "dep_v1_golden.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dep, err := ReadDeployment(f)
+	if err != nil {
+		t.Fatalf("golden v1 deployment rejected: %v", err)
+	}
+	if dep.Ref != nil {
+		t.Fatal("golden v1 deployment has a drift reference")
+	}
+	if got := dep.Extractor.Dim(); got != 64 {
+		t.Fatalf("golden dim %d, want 64", got)
+	}
+	// Deterministic artifact → pinned score for a fixed row. A mismatch
+	// means the binary format or the scoring path changed semantics.
+	row := []float64{1, 0.5}
+	if got := dep.Score(row); got != goldenV1Score {
+		t.Fatalf("golden score %v, want %v", got, goldenV1Score)
 	}
 }
 

@@ -1,0 +1,58 @@
+//go:build ignore
+
+// Generates dep_v1_golden.bin: a small deterministic deployment written
+// in the legacy v1 layout (magic + codebook + prototypes, no drift
+// reference). TestReadDeploymentV1Golden loads it to guarantee model
+// files from older builds keep loading. Run from this directory:
+//
+//	go run gen_golden.go
+//
+// Prints the pinned score for row {1, 0.5}; update goldenV1Score in
+// deploy_test.go if the artifact is ever intentionally regenerated.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strconv"
+
+	"hdfe/internal/core"
+	"hdfe/internal/encode"
+	"hdfe/internal/hv"
+)
+
+func main() {
+	var X [][]float64
+	var y []int
+	for i := 0; i < 20; i++ {
+		label := i % 2
+		base := float64(label)
+		X = append(X, []float64{base + float64(i%10)*0.05, base + float64((i*3)%10)*0.05})
+		y = append(y, label)
+	}
+	specs := []encode.Spec{
+		{Name: "a", Kind: encode.Continuous},
+		{Name: "b", Kind: encode.Continuous},
+	}
+	dep, err := core.BuildDeployment(specs, X, y, core.Options{Dim: 64, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString("HDFEDEP1\n")
+	if _, err := dep.Extractor.Codebook().WriteTo(&buf); err != nil {
+		panic(err)
+	}
+	if err := hv.WriteVector(&buf, dep.NegProto); err != nil {
+		panic(err)
+	}
+	if err := hv.WriteVector(&buf, dep.PosProto); err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile("dep_v1_golden.bin", buf.Bytes(), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Printf("wrote dep_v1_golden.bin (%d bytes)\n", buf.Len())
+	fmt.Printf("score({1, 0.5}) = %s\n", strconv.FormatFloat(dep.Score([]float64{1, 0.5}), 'g', -1, 64))
+}

@@ -1,0 +1,193 @@
+package drift
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// FeatureRef is one feature's training-time reference: the fitted value
+// range and a histogram of the training column over that range. Training
+// data never falls outside [Min, Max] by construction (the range is
+// fitted from the same matrix), so the reference has no overflow cells;
+// live overflow is what the Monitor's clamp counters measure.
+type FeatureRef struct {
+	Name     string   `json:"feature"`
+	Min      float64  `json:"min"`
+	Max      float64  `json:"max"`
+	Counts   []uint64 `json:"counts"`
+	Missing  uint64   `json:"missing"`
+	Observed uint64   `json:"observed"` // non-missing training cells
+}
+
+// Baseline is the training-time quality anchor the delayed-label canary
+// compares against.
+type Baseline struct {
+	// LOOCVAccuracy is the leave-one-out 1-NN Hamming accuracy on the
+	// training cohort — the paper's headline validation number for the
+	// pure-HDC model, computed at fit time.
+	LOOCVAccuracy float64 `json:"loocv_accuracy"`
+	// TrainRecords is the cohort size the baseline was computed on.
+	TrainRecords int `json:"train_records"`
+	// PosRate is the training positive-class rate, the anchor for
+	// predicted-class-rate drift.
+	PosRate float64 `json:"pos_rate"`
+}
+
+// Reference is the full training-time snapshot shipped inside a
+// deployment: per-feature histograms plus the quality baseline.
+type Reference struct {
+	Bins     int          `json:"bins"`
+	Features []FeatureRef `json:"features"`
+	Baseline Baseline     `json:"baseline"`
+}
+
+// BuildReference captures per-feature histograms from the training
+// matrix. names must match X's columns; bins <= 0 uses DefaultBins.
+// Ranges are fitted per column over non-NaN cells, mirroring how the
+// encode package fits its level encoders on the same matrix, so the
+// reference range and the codebook's clamp range agree. A column that is
+// entirely missing gets the degenerate range [0, 0].
+func BuildReference(names []string, X [][]float64, bins int, baseline Baseline) *Reference {
+	if bins <= 0 {
+		bins = DefaultBins
+	}
+	ref := &Reference{Bins: bins, Baseline: baseline}
+	for j, name := range names {
+		fr := FeatureRef{Name: name, Counts: make([]uint64, bins)}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, row := range X {
+			v := row[j]
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if math.IsInf(lo, 1) {
+			lo, hi = 0, 0
+		}
+		fr.Min, fr.Max = lo, hi
+		for _, row := range X {
+			v := row[j]
+			if math.IsNaN(v) {
+				fr.Missing++
+				continue
+			}
+			// Fitted range covers every value, so bucketOf cannot overflow.
+			fr.Counts[bucketOf(v, lo, hi, bins)]++
+			fr.Observed++
+		}
+		ref.Features = append(ref.Features, fr)
+	}
+	return ref
+}
+
+// refMagic versions the serialized reference layout (it rides inside the
+// deployment file, after the prototypes).
+const refMagic = "HDFEREF1\n"
+
+// WriteTo serializes the reference in the deployment file's little-endian
+// binary convention.
+func (r *Reference) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	if _, err := io.WriteString(cw, refMagic); err != nil {
+		return cw.n, err
+	}
+	write := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write(int32(r.Bins), int32(len(r.Features))); err != nil {
+		return cw.n, err
+	}
+	for _, f := range r.Features {
+		if err := write(int32(len(f.Name))); err != nil {
+			return cw.n, err
+		}
+		if _, err := io.WriteString(cw, f.Name); err != nil {
+			return cw.n, err
+		}
+		if err := write(f.Min, f.Max, f.Missing, f.Observed, f.Counts); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := write(r.Baseline.LOOCVAccuracy, int32(r.Baseline.TrainRecords), r.Baseline.PosRate); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadReference deserializes a reference written by WriteTo.
+func ReadReference(rd io.Reader) (*Reference, error) {
+	magic := make([]byte, len(refMagic))
+	if _, err := io.ReadFull(rd, magic); err != nil {
+		return nil, fmt.Errorf("drift: reading reference magic: %w", err)
+	}
+	if string(magic) != refMagic {
+		return nil, fmt.Errorf("drift: bad reference magic %q", magic)
+	}
+	read := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Read(rd, binary.LittleEndian, v); err != nil {
+				return fmt.Errorf("drift: reading reference: %w", err)
+			}
+		}
+		return nil
+	}
+	var bins, nfeat int32
+	if err := read(&bins, &nfeat); err != nil {
+		return nil, err
+	}
+	if bins <= 0 || bins > 1<<10 || nfeat < 0 || nfeat > 1<<20 {
+		return nil, fmt.Errorf("drift: implausible reference header bins=%d nfeat=%d", bins, nfeat)
+	}
+	ref := &Reference{Bins: int(bins)}
+	for j := int32(0); j < nfeat; j++ {
+		var nameLen int32
+		if err := read(&nameLen); err != nil {
+			return nil, err
+		}
+		if nameLen < 0 || nameLen > 1<<16 {
+			return nil, fmt.Errorf("drift: implausible feature name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(rd, name); err != nil {
+			return nil, fmt.Errorf("drift: reading feature name: %w", err)
+		}
+		f := FeatureRef{Name: string(name), Counts: make([]uint64, bins)}
+		if err := read(&f.Min, &f.Max, &f.Missing, &f.Observed, f.Counts); err != nil {
+			return nil, err
+		}
+		if math.IsNaN(f.Min) || math.IsNaN(f.Max) || f.Max < f.Min {
+			return nil, fmt.Errorf("drift: bad reference range [%v, %v] for %q", f.Min, f.Max, f.Name)
+		}
+		ref.Features = append(ref.Features, f)
+	}
+	var trainRecords int32
+	if err := read(&ref.Baseline.LOOCVAccuracy, &trainRecords, &ref.Baseline.PosRate); err != nil {
+		return nil, err
+	}
+	ref.Baseline.TrainRecords = int(trainRecords)
+	return ref, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"hdfe/internal/core"
+	"hdfe/internal/drift"
+	"hdfe/internal/obs"
+)
+
+// driftState bundles the server's model/data observability: the input
+// drift monitor (live per-feature histograms against the deployment's
+// training reference), the rolling score window for prediction drift,
+// and the delayed-label quality tracker. The monitor is nil when the
+// deployment carries no reference (a pre-v2 model file) — input drift
+// reporting is then disabled while prediction drift and quality still
+// run, since neither needs training-time state beyond the baseline.
+type driftState struct {
+	monitor *drift.Monitor
+	scores  *drift.ScoreWindow
+	quality *drift.Quality
+
+	psiWarn   float64
+	clampWarn float64
+	logger    *slog.Logger
+
+	mu      sync.Mutex
+	alerted map[string]bool // per-signal warning latches (edge-triggered logs)
+}
+
+func newDriftState(dep *core.Deployment, cfg Config) *driftState {
+	d := &driftState{
+		scores:    drift.NewScoreWindow(cfg.ScoreWindow),
+		psiWarn:   cfg.PSIWarn,
+		clampWarn: cfg.ClampWarn,
+		logger:    cfg.Logger,
+		alerted:   make(map[string]bool),
+	}
+	var base *drift.Baseline
+	if dep.Ref != nil {
+		d.monitor = drift.NewMonitor(dep.Ref)
+		base = &dep.Ref.Baseline
+	}
+	d.quality = drift.NewQuality(base, drift.QualityConfig{
+		Capacity:  cfg.FeedbackCapacity,
+		Window:    cfg.QualityWindow,
+		Tolerance: cfg.QualityTolerance,
+	})
+	return d
+}
+
+// observeRow folds one validated request row into the input histograms.
+func (d *driftState) observeRow(row []float64) {
+	if d.monitor != nil {
+		d.monitor.ObserveRow(row)
+	}
+}
+
+// driftReport is the /debug/drift body.
+type driftReport struct {
+	// InputDriftEnabled is false when the deployment predates the drift
+	// reference (Ref nil): Features stays empty and no PSI is computed.
+	InputDriftEnabled bool                  `json:"input_drift_enabled"`
+	RowsObserved      uint64                `json:"rows_observed"`
+	PSIWarn           float64               `json:"psi_warn_threshold"`
+	ClampWarn         float64               `json:"clamp_warn_threshold"`
+	Features          []drift.FeatureDrift  `json:"features,omitempty"`
+	Prediction        drift.PredictionStats `json:"prediction"`
+	Quality           drift.QualityStats    `json:"quality"`
+}
+
+// report snapshots every drift signal and runs the warning evaluation:
+// crossing a threshold logs once, and the latch re-arms when the signal
+// recovers, so a persistently drifted feature does not flood the log on
+// every scrape.
+func (d *driftState) report() driftReport {
+	rep := driftReport{
+		PSIWarn:    d.psiWarn,
+		ClampWarn:  d.clampWarn,
+		Prediction: d.scores.Snapshot(),
+		Quality:    d.quality.Snapshot(),
+	}
+	if d.monitor != nil {
+		rep.InputDriftEnabled = true
+		rep.RowsObserved = d.monitor.Rows()
+		rep.Features = d.monitor.Snapshot()
+	}
+	d.evaluate(rep)
+	return rep
+}
+
+// evaluate fires edge-triggered slog warnings for signals over their
+// thresholds.
+func (d *driftState) evaluate(rep driftReport) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, f := range rep.Features {
+		if f.Observed == 0 {
+			continue
+		}
+		d.edge("psi:"+f.Name, f.PSI >= d.psiWarn, func() {
+			d.logger.Warn("input drift detected",
+				"feature", f.Name, "psi", f.PSI, "threshold", d.psiWarn)
+		})
+		d.edge("clamp:"+f.Name, f.ClampRatio >= d.clampWarn, func() {
+			d.logger.Warn("out-of-range clamping elevated",
+				"feature", f.Name, "clamp_ratio", f.ClampRatio, "threshold", d.clampWarn,
+				"below", f.Below, "above", f.Above)
+		})
+	}
+	d.edge("canary", rep.Quality.Canary == drift.CanaryDegraded, func() {
+		d.logger.Warn("model quality degraded",
+			"rolling_accuracy", rep.Quality.RollingAccuracy,
+			"baseline_accuracy", rep.Quality.BaselineAccuracy,
+			"tolerance", rep.Quality.Tolerance)
+	})
+}
+
+// edge runs fire on a false→true transition of cond for key and re-arms
+// on true→false. Callers hold d.mu.
+func (d *driftState) edge(key string, cond bool, fire func()) {
+	if cond && !d.alerted[key] {
+		d.alerted[key] = true
+		fire()
+	} else if !cond {
+		d.alerted[key] = false
+	}
+}
+
+// feedbackItem is one delayed ground-truth label keyed by the request ID
+// the scoring response carried.
+type feedbackItem struct {
+	RequestID string `json:"request_id"`
+	Label     *int   `json:"label"`
+}
+
+// feedbackRequest is the body of POST /v1/feedback: either one label
+// inline or a batch under "items".
+type feedbackRequest struct {
+	RequestID string         `json:"request_id,omitempty"`
+	Label     *int           `json:"label,omitempty"`
+	Items     []feedbackItem `json:"items,omitempty"`
+}
+
+// feedbackResult reports one label's join outcome.
+type feedbackResult struct {
+	RequestID string `json:"request_id"`
+	Status    string `json:"status"` // matched | unknown | duplicate
+}
+
+// feedbackResponse is the body of a successful POST /v1/feedback.
+type feedbackResponse struct {
+	Results   []feedbackResult `json:"results"`
+	Matched   int              `json:"matched"`
+	Unknown   int              `json:"unknown"`
+	Duplicate int              `json:"duplicate"`
+}
+
+// handleFeedback joins delayed ground-truth labels to remembered
+// predictions. Unknown IDs are reported, not rejected: labels routinely
+// arrive after the bounded join ring has rotated, and the caller should
+// see how many joined rather than get a hard failure.
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req feedbackRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	items := req.Items
+	if req.RequestID != "" || req.Label != nil {
+		if len(items) > 0 {
+			s.writeError(w, http.StatusBadRequest,
+				"send either an inline request_id/label or items, not both", nil, 0)
+			return
+		}
+		items = []feedbackItem{{RequestID: req.RequestID, Label: req.Label}}
+	}
+	if len(items) == 0 {
+		s.writeError(w, http.StatusBadRequest, "no feedback items", nil, 0)
+		return
+	}
+	for i, it := range items {
+		if it.RequestID == "" {
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("item %d: missing request_id", i), nil, i)
+			return
+		}
+		if it.Label == nil || (*it.Label != 0 && *it.Label != 1) {
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("item %d: label must be 0 or 1", i), nil, i)
+			return
+		}
+	}
+	resp := feedbackResponse{Results: make([]feedbackResult, len(items))}
+	for i, it := range items {
+		res := s.drift.quality.Feedback(it.RequestID, *it.Label)
+		resp.Results[i] = feedbackResult{RequestID: it.RequestID, Status: res.String()}
+		switch res {
+		case drift.Matched:
+			resp.Matched++
+		case drift.Unknown:
+			resp.Unknown++
+		case drift.Duplicate:
+			resp.Duplicate++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDriftDebug serves the full drift report (and, as a side effect,
+// runs the threshold evaluation exactly like a metrics scrape does).
+func (s *Server) handleDriftDebug(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	writeJSON(w, http.StatusOK, s.drift.report())
+}
+
+// promDrift emits the drift/quality metric families into a /metrics
+// scrape. Input-drift families appear only when the deployment carries a
+// reference; quality and prediction families always do.
+func (s *Server) promDrift(p *obs.PromWriter) {
+	rep := s.drift.report()
+	if rep.InputDriftEnabled {
+		p.Header("hdfe_drift_rows_observed_total", "counter", "Rows folded into the input drift histograms.")
+		p.Value("hdfe_drift_rows_observed_total", float64(rep.RowsObserved))
+		p.Header("hdfe_drift_psi", "gauge", "Per-feature population stability index vs the training reference.")
+		for _, f := range rep.Features {
+			p.Value("hdfe_drift_psi", f.PSI, "feature", f.Name)
+		}
+		p.Header("hdfe_drift_clamp_ratio", "gauge", "Fraction of observed values outside the fitted range (clamped by the level encoder).")
+		for _, f := range rep.Features {
+			p.Value("hdfe_drift_clamp_ratio", f.ClampRatio, "feature", f.Name)
+		}
+		p.Header("hdfe_drift_out_of_range_total", "counter", "Observed values outside the fitted range, by side.")
+		for _, f := range rep.Features {
+			p.Value("hdfe_drift_out_of_range_total", float64(f.Below), "feature", f.Name, "side", "below")
+			p.Value("hdfe_drift_out_of_range_total", float64(f.Above), "feature", f.Name, "side", "above")
+		}
+		p.Header("hdfe_drift_missing_total", "counter", "Missing (null) values observed per feature.")
+		for _, f := range rep.Features {
+			p.Value("hdfe_drift_missing_total", float64(f.Missing), "feature", f.Name)
+		}
+	}
+
+	p.Header("hdfe_drift_prediction_positive_ratio", "gauge", "Fraction of windowed scores predicting the positive class.")
+	p.Value("hdfe_drift_prediction_positive_ratio", rep.Prediction.PositiveRatio)
+	p.Header("hdfe_drift_score_margin_mean", "gauge", "Mean decision margin |score-0.5|*2 over the score window.")
+	p.Value("hdfe_drift_score_margin_mean", rep.Prediction.MeanMargin)
+
+	q := rep.Quality
+	p.Header("hdfe_quality_labels_total", "counter", "Ground-truth labels joined to predictions.")
+	p.Value("hdfe_quality_labels_total", float64(q.Matched))
+	p.Header("hdfe_feedback_unmatched_total", "counter", "Feedback labels whose request ID matched no remembered prediction.")
+	p.Value("hdfe_feedback_unmatched_total", float64(q.Unknown))
+	p.Header("hdfe_quality_baseline_accuracy", "gauge", "Training-time LOOCV accuracy baseline (NaN if the model carries none).")
+	p.Value("hdfe_quality_baseline_accuracy", q.BaselineAccuracy)
+	p.Header("hdfe_quality_accuracy", "gauge", "Cumulative labeled accuracy (NaN before the first label).")
+	p.Value("hdfe_quality_accuracy", q.Accuracy)
+	p.Header("hdfe_quality_f1", "gauge", "Cumulative labeled F1 (NaN before the first positive).")
+	p.Value("hdfe_quality_f1", q.F1)
+	p.Header("hdfe_quality_canary_healthy", "gauge", "1 while the delayed-label canary is healthy or pending, 0 once degraded.")
+	healthy := 1.0
+	if q.Canary == drift.CanaryDegraded {
+		healthy = 0
+	}
+	p.Value("hdfe_quality_canary_healthy", healthy)
+}
+
+// requestID renders the trace ID as the response's request_id.
+func requestID(id uint64) string { return strconv.FormatUint(id, 10) }
+
+// batchRequestID renders one record's request_id within a batch.
+func batchRequestID(id uint64, index int) string {
+	return strconv.FormatUint(id, 10) + "-" + strconv.Itoa(index)
+}

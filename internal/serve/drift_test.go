@@ -1,0 +1,366 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hdfe/internal/drift"
+	"hdfe/internal/synth"
+)
+
+// driftServer builds a test server plus its httptest harness, returning
+// the log buffer so tests can assert on slog warnings.
+func driftServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *bytes.Buffer) {
+	t.Helper()
+	var logBuf bytes.Buffer
+	cfg.Logger = slog.New(slog.NewJSONHandler(&logBuf, nil))
+	if cfg.MaxWait == 0 {
+		cfg.MaxWait = time.Millisecond
+	}
+	s := New(testDeployment(t, 256), cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts, &logBuf
+}
+
+func getDriftReport(t *testing.T, ts *httptest.Server) driftReport {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/debug/drift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/drift status %d", resp.StatusCode)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("Cache-Control %q, want no-store", cc)
+	}
+	var rep driftReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestDriftReportCalmTraffic drives in-distribution rows and checks the
+// report stays quiet: low PSI everywhere, no clamping, no warnings.
+func TestDriftReportCalmTraffic(t *testing.T) {
+	_, ts, logBuf := driftServer(t, Config{})
+	d := synth.PimaM(7)
+	recs := make([][]*float64, len(d.X))
+	for i, row := range d.X {
+		recs[i] = floats(row...)
+	}
+	resp, _ := postJSON(t, ts.Client(), ts.URL+"/v1/score/batch", batchScoreRequest{Records: recs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+
+	rep := getDriftReport(t, ts)
+	if !rep.InputDriftEnabled {
+		t.Fatal("input drift disabled despite a v2 deployment")
+	}
+	if rep.RowsObserved != uint64(len(d.X)) {
+		t.Fatalf("rows observed %d, want %d", rep.RowsObserved, len(d.X))
+	}
+	if len(rep.Features) != 8 {
+		t.Fatalf("%d features in report", len(rep.Features))
+	}
+	// The live traffic IS the training distribution: PSI must be tiny
+	// and nothing may fall outside the fitted ranges.
+	for _, f := range rep.Features {
+		if f.PSI >= 0.1 {
+			t.Errorf("feature %s PSI %v on training-identical traffic", f.Name, f.PSI)
+		}
+		if f.Below != 0 || f.Above != 0 {
+			t.Errorf("feature %s clamped %d/%d on training-identical traffic", f.Name, f.Below, f.Above)
+		}
+	}
+	if rep.Prediction.Count != len(d.X) {
+		t.Errorf("prediction window count %d, want %d", rep.Prediction.Count, len(d.X))
+	}
+	if strings.Contains(logBuf.String(), "input drift detected") {
+		t.Error("drift warning fired on calm traffic")
+	}
+}
+
+// TestDriftReportShiftedCohort shifts one feature far outside its fitted
+// range and checks the full detection chain: PSI over threshold in the
+// report, elevated clamp counters, and an edge-triggered slog warning
+// that does not repeat on the next scrape.
+func TestDriftReportShiftedCohort(t *testing.T) {
+	_, ts, logBuf := driftServer(t, Config{})
+	d := synth.PimaM(7)
+	const glucose = 1
+	recs := make([][]*float64, len(d.X))
+	for i, row := range d.X {
+		shifted := append([]float64(nil), row...)
+		shifted[glucose] += 1000 // far above any fitted glucose
+		recs[i] = floats(shifted...)
+	}
+	resp, _ := postJSON(t, ts.Client(), ts.URL+"/v1/score/batch", batchScoreRequest{Records: recs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+
+	rep := getDriftReport(t, ts)
+	g := rep.Features[glucose]
+	if g.Name != "Glucose" {
+		t.Fatalf("feature %d is %q", glucose, g.Name)
+	}
+	if g.PSI < 0.25 {
+		t.Errorf("glucose PSI %v after a wholesale shift, want >= 0.25", g.PSI)
+	}
+	if g.Above != uint64(len(d.X)) {
+		t.Errorf("glucose above-range count %d, want %d", g.Above, len(d.X))
+	}
+	if g.ClampRatio != 1 {
+		t.Errorf("glucose clamp ratio %v, want 1", g.ClampRatio)
+	}
+	logs := logBuf.String()
+	if n := strings.Count(logs, "input drift detected"); n != 1 {
+		t.Fatalf("drift warning fired %d times, want 1 (edge-triggered)", n)
+	}
+	// A second scrape must not re-fire the latched warning.
+	getDriftReport(t, ts)
+	if n := strings.Count(logBuf.String(), "input drift detected"); n != 1 {
+		t.Errorf("drift warning re-fired on second scrape")
+	}
+	if !strings.Contains(logs, "out-of-range clamping elevated") {
+		t.Error("clamp warning missing despite 100% out-of-range traffic")
+	}
+}
+
+// TestFeedbackJoin walks the delayed-label loop over HTTP: score, then
+// label via /v1/feedback, and check the join results and the quality
+// block of the drift report.
+func TestFeedbackJoin(t *testing.T) {
+	_, ts, _ := driftServer(t, Config{})
+	d := synth.PimaM(7)
+
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/score", scoreRequest{Features: floats(d.X[0]...)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("score status %d: %s", resp.StatusCode, body)
+	}
+	var sr scoreResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.RequestID == "" {
+		t.Fatal("score response carries no request_id")
+	}
+
+	one := 1
+	// Inline form: one label.
+	resp, body = postJSON(t, ts.Client(), ts.URL+"/v1/feedback",
+		feedbackRequest{RequestID: sr.RequestID, Label: &one})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feedback status %d: %s", resp.StatusCode, body)
+	}
+	var fr feedbackResponse
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Matched != 1 || fr.Results[0].Status != "matched" {
+		t.Fatalf("feedback response %+v", fr)
+	}
+
+	// Items form: a duplicate of the same ID plus an unknown ID.
+	resp, body = postJSON(t, ts.Client(), ts.URL+"/v1/feedback", feedbackRequest{Items: []feedbackItem{
+		{RequestID: sr.RequestID, Label: &one},
+		{RequestID: "no-such-request", Label: &one},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch feedback status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Duplicate != 1 || fr.Unknown != 1 {
+		t.Fatalf("batch feedback response %+v", fr)
+	}
+
+	rep := getDriftReport(t, ts)
+	q := rep.Quality
+	if q.Matched != 1 || q.Unknown != 1 || q.Duplicate != 1 {
+		t.Fatalf("quality join counters %+v", q)
+	}
+	if mass := q.Cumulative.TP + q.Cumulative.TN + q.Cumulative.FP + q.Cumulative.FN; mass != 1 {
+		t.Fatalf("confusion mass %d, want 1", mass)
+	}
+	if q.Canary != drift.CanaryPending {
+		t.Errorf("canary %q with one label, want pending", q.Canary)
+	}
+}
+
+// TestFeedbackValidation pins the 400 paths of /v1/feedback.
+func TestFeedbackValidation(t *testing.T) {
+	_, ts, _ := driftServer(t, Config{})
+	one, two := 1, 2
+	for name, req := range map[string]feedbackRequest{
+		"empty":            {},
+		"missing label":    {RequestID: "x"},
+		"bad label":        {RequestID: "x", Label: &two},
+		"missing id":       {Label: &one},
+		"items and inline": {RequestID: "x", Label: &one, Items: []feedbackItem{{RequestID: "y", Label: &one}}},
+		"bad item label":   {Items: []feedbackItem{{RequestID: "y", Label: &two}}},
+	} {
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/feedback", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", name, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestReadOnlyEndpointMethods is the table-driven guard test: every
+// read-only endpoint answers GET with no-store caching and refuses
+// non-GET with 405 + Allow.
+func TestReadOnlyEndpointMethods(t *testing.T) {
+	_, ts, _ := driftServer(t, Config{})
+	for _, path := range []string{"/healthz", "/metrics", "/metrics.json", "/debug/traces", "/debug/drift"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("GET %s: Cache-Control %q, want no-store", path, cc)
+		}
+		for _, method := range []string{http.MethodPost, http.MethodDelete, http.MethodPut} {
+			req, err := http.NewRequest(method, ts.URL+path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := ts.Client().Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s: status %d, want 405", method, path, resp.StatusCode)
+			}
+			if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+				t.Errorf("%s %s: Allow %q, want GET", method, path, allow)
+			}
+		}
+	}
+	// /v1/feedback is write-only: GET must 405 with Allow: POST.
+	resp, err := ts.Client().Get(ts.URL + "/v1/feedback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != http.MethodPost {
+		t.Errorf("GET /v1/feedback: status %d Allow %q", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+}
+
+// TestPromDriftSeries checks the drift families land in /metrics with
+// live values.
+func TestPromDriftSeries(t *testing.T) {
+	_, ts, _ := driftServer(t, Config{})
+	d := synth.PimaM(7)
+	recs := make([][]*float64, 32)
+	for i := range recs {
+		recs[i] = floats(d.X[i]...)
+	}
+	postJSON(t, ts.Client(), ts.URL+"/v1/score/batch", batchScoreRequest{Records: recs})
+
+	body, _ := scrape(t, ts)
+	for _, want := range []string{
+		"hdfe_drift_rows_observed_total 32",
+		`hdfe_drift_psi{feature="Glucose"}`,
+		`hdfe_drift_clamp_ratio{feature="BMI"}`,
+		`hdfe_drift_out_of_range_total{feature="Age",side="above"} 0`,
+		"hdfe_quality_baseline_accuracy 0.",
+		"hdfe_quality_canary_healthy 1",
+		"hdfe_quality_labels_total 0",
+		"hdfe_quality_accuracy NaN",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestBatchRequestIDsAlign pins the batch response contract: one
+// feedback handle per record, joinable immediately.
+func TestBatchRequestIDsAlign(t *testing.T) {
+	_, ts, _ := driftServer(t, Config{})
+	d := synth.PimaM(7)
+	recs := [][]*float64{floats(d.X[0]...), floats(d.X[1]...), floats(d.X[2]...)}
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/score/batch", batchScoreRequest{Records: recs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	var br batchScoreResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.RequestIDs) != 3 {
+		t.Fatalf("%d request IDs for 3 records", len(br.RequestIDs))
+	}
+	zero := 0
+	items := make([]feedbackItem, len(br.RequestIDs))
+	for i, id := range br.RequestIDs {
+		items[i] = feedbackItem{RequestID: id, Label: &zero}
+	}
+	resp, body = postJSON(t, ts.Client(), ts.URL+"/v1/feedback", feedbackRequest{Items: items})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feedback status %d: %s", resp.StatusCode, body)
+	}
+	var fr feedbackResponse
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Matched != 3 {
+		t.Fatalf("matched %d of 3 batch request IDs: %+v", fr.Matched, fr)
+	}
+}
+
+// TestDriftDisabledWithoutReference pins backward compatibility at the
+// serve layer: a deployment with no drift reference (a v1 model file)
+// serves normally with input drift off and no input families in
+// /metrics, while prediction and quality tracking still run.
+func TestDriftDisabledWithoutReference(t *testing.T) {
+	dep := testDeployment(t, 256)
+	dep.Ref = nil
+	s := New(dep, Config{MaxWait: time.Millisecond})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	d := synth.PimaM(7)
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/score", scoreRequest{Features: floats(d.X[0]...)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("score status %d: %s", resp.StatusCode, body)
+	}
+
+	rep := getDriftReport(t, ts)
+	if rep.InputDriftEnabled || len(rep.Features) != 0 {
+		t.Fatalf("input drift active without a reference: %+v", rep)
+	}
+	if rep.Prediction.Count != 1 {
+		t.Errorf("prediction window count %d, want 1", rep.Prediction.Count)
+	}
+	if rep.Quality.Canary != drift.CanaryDisabled {
+		t.Errorf("canary %q without a baseline, want disabled", rep.Quality.Canary)
+	}
+	metrics, _ := scrape(t, ts)
+	if strings.Contains(metrics, "hdfe_drift_psi") {
+		t.Error("input drift families exposed without a reference")
+	}
+	if !strings.Contains(metrics, "hdfe_drift_score_margin_mean") {
+		t.Error("prediction drift families missing without a reference")
+	}
+}

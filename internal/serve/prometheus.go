@@ -17,6 +17,9 @@ var batchSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64}
 // counter the JSON snapshot carries, the per-stage pipeline histograms,
 // batcher gauges, Go runtime stats, and build info.
 func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
 	w.Header().Set("Content-Type", obs.PromContentType)
 	w.Header().Set("Cache-Control", "no-store")
 	p := obs.NewPromWriter(w)
@@ -83,6 +86,8 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 		p.Histogram("hdserve_stage_duration_seconds", stageBounds, st.Buckets[:],
 			st.Sum.Seconds(), "stage", st.Stage)
 	}
+
+	s.promDrift(p)
 
 	p.GoRuntime()
 	if err := p.Err(); err != nil {

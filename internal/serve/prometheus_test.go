@@ -27,6 +27,19 @@ var promFamilies = []string{
 	"go_memstats_heap_objects gauge",
 	"go_memstats_heap_sys_bytes gauge",
 	"go_memstats_next_gc_bytes gauge",
+	"hdfe_drift_clamp_ratio gauge",
+	"hdfe_drift_missing_total counter",
+	"hdfe_drift_out_of_range_total counter",
+	"hdfe_drift_prediction_positive_ratio gauge",
+	"hdfe_drift_psi gauge",
+	"hdfe_drift_rows_observed_total counter",
+	"hdfe_drift_score_margin_mean gauge",
+	"hdfe_feedback_unmatched_total counter",
+	"hdfe_quality_accuracy gauge",
+	"hdfe_quality_baseline_accuracy gauge",
+	"hdfe_quality_canary_healthy gauge",
+	"hdfe_quality_f1 gauge",
+	"hdfe_quality_labels_total counter",
 	"hdserve_batch_size histogram",
 	"hdserve_batcher_accepting gauge",
 	"hdserve_batcher_queue_depth gauge",

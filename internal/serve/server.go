@@ -37,6 +37,29 @@ type Config struct {
 	// of encoding them as the baseline codeword (the encode contract's
 	// NaN rule, and the default behaviour).
 	RejectMissing bool
+	// RejectOutOfRange makes continuous values outside the fitted
+	// [min, max] a validation error (with the value and bounds in the
+	// body) instead of a clamp-and-warn.
+	RejectOutOfRange bool
+	// PSIWarn is the per-feature PSI above which input drift is logged
+	// (default 0.25, the conventional "significant shift" threshold).
+	PSIWarn float64
+	// ClampWarn is the per-feature out-of-range ratio above which
+	// clamping is logged (default 0.01).
+	ClampWarn float64
+	// ScoreWindow sizes the rolling score window for prediction drift
+	// (default 4096).
+	ScoreWindow int
+	// FeedbackCapacity bounds the prediction ring /v1/feedback joins
+	// against (default 4096).
+	FeedbackCapacity int
+	// QualityWindow bounds the rolling labeled-outcome window the canary
+	// judges (default 1024).
+	QualityWindow int
+	// QualityTolerance is how far rolling accuracy may fall below the
+	// deployment's LOOCV baseline before the canary degrades
+	// (default 0.05).
+	QualityTolerance float64
 	// Logger receives structured request logs (default: discard).
 	Logger *slog.Logger
 	// TraceBuffer sizes the /debug/traces rings: that many most-recent
@@ -68,6 +91,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.PSIWarn <= 0 {
+		c.PSIWarn = 0.25
+	}
+	if c.ClampWarn <= 0 {
+		c.ClampWarn = 0.01
+	}
 	if c.Logger == nil {
 		c.Logger = obs.NopLogger()
 	}
@@ -87,6 +116,7 @@ type Server struct {
 	batcher *Batcher
 	metrics *Metrics
 	tracer  *obs.Tracer
+	drift   *driftState
 	logger  *slog.Logger
 	mux     *http.ServeMux
 }
@@ -99,19 +129,22 @@ func New(dep *core.Deployment, cfg Config) *Server {
 	s := &Server{
 		dep:     dep,
 		cfg:     cfg,
-		val:     NewValidator(dep.Extractor.Codebook(), cfg.RejectMissing),
+		val:     NewValidator(dep.Extractor.Codebook(), cfg.RejectMissing, cfg.RejectOutOfRange),
 		batcher: NewBatcher(dep, cfg.MaxBatch, cfg.MaxWait, m),
 		metrics: m,
 		tracer:  obs.NewTracer(cfg.TraceBuffer),
+		drift:   newDriftState(dep, cfg),
 		logger:  cfg.Logger,
 		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/score", s.traced("score", s.handleScore))
 	s.mux.HandleFunc("/v1/score/batch", s.traced("score_batch", s.handleScoreBatch))
+	s.mux.HandleFunc("/v1/feedback", s.handleFeedback)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetricsProm)
 	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
 	s.mux.HandleFunc("/debug/traces", s.handleTraces)
+	s.mux.HandleFunc("/debug/drift", s.handleDriftDebug)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -202,8 +235,10 @@ type scoreRequest struct {
 	Features []*float64 `json:"features"`
 }
 
-// scoreResponse is the body of a successful POST /v1/score.
+// scoreResponse is the body of a successful POST /v1/score. RequestID
+// is the handle /v1/feedback joins a delayed ground-truth label with.
 type scoreResponse struct {
+	RequestID  string   `json:"request_id"`
 	Score      float64  `json:"score"`
 	Prediction int      `json:"prediction"`
 	Warnings   []string `json:"warnings,omitempty"`
@@ -221,7 +256,9 @@ type recordWarnings struct {
 }
 
 // batchScoreResponse is the body of a successful POST /v1/score/batch.
+// RequestIDs carries one feedback handle per record, aligned with Scores.
 type batchScoreResponse struct {
+	RequestIDs  []string         `json:"request_ids"`
 	Scores      []float64        `json:"scores"`
 	Predictions []int            `json:"predictions"`
 	Warnings    []recordWarnings `json:"warnings,omitempty"`
@@ -292,6 +329,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request, at *obs.Act
 		}
 		return
 	}
+	s.drift.observeRow(row)
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	score, bt, err := s.batcher.SubmitTimed(ctx, row)
@@ -317,10 +355,12 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request, at *obs.Act
 	at.SetBatch(bt.Size)
 	at.Mark()
 	s.metrics.recordsScored.Add(1)
-	resp := scoreResponse{Score: score, Warnings: warnings}
+	resp := scoreResponse{RequestID: requestID(at.ID()), Score: score, Warnings: warnings}
 	if score >= 0.5 {
 		resp.Prediction = 1
 	}
+	s.drift.scores.Observe(score)
+	s.drift.quality.Record(resp.RequestID, resp.Prediction)
 	writeJSON(w, http.StatusOK, resp)
 	at.Step(obs.StageRespond)
 	s.metrics.ObserveLatency(time.Since(start))
@@ -366,6 +406,9 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request, at *ob
 			allWarnings = append(allWarnings, recordWarnings{Index: i, Warnings: warnings})
 		}
 	}
+	for _, row := range rows {
+		s.drift.observeRow(row)
+	}
 	at.Step(obs.StageValidate)
 	var acc obs.StageAccum
 	scores := s.dep.ScoreBatchIntoObserved(rows, nil, &acc)
@@ -375,13 +418,17 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request, at *ob
 	at.SetBatch(len(rows))
 	at.Mark()
 	preds := make([]int, len(scores))
+	ids := make([]string, len(scores))
 	for i, sc := range scores {
 		if sc >= 0.5 {
 			preds[i] = 1
 		}
+		ids[i] = batchRequestID(at.ID(), i)
+		s.drift.scores.Observe(sc)
+		s.drift.quality.Record(ids[i], preds[i])
 	}
 	s.metrics.recordsScored.Add(uint64(len(scores)))
-	writeJSON(w, http.StatusOK, batchScoreResponse{Scores: scores, Predictions: preds, Warnings: allWarnings})
+	writeJSON(w, http.StatusOK, batchScoreResponse{RequestIDs: ids, Scores: scores, Predictions: preds, Warnings: allWarnings})
 	at.Step(obs.StageRespond)
 	s.metrics.ObserveLatency(time.Since(start))
 }
@@ -390,6 +437,9 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request, at *ob
 // batcher state. While draining it answers 503 so load balancers pull
 // the instance before the listener disappears.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
 	w.Header().Set("Cache-Control", "no-store")
 	status, state, code := "ok", "accepting", http.StatusOK
 	if s.batcher.Draining() {
@@ -406,6 +456,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleMetricsJSON serves the legacy expvar-style counter snapshot.
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
 	w.Header().Set("Cache-Control", "no-store")
 	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
 }
@@ -413,6 +466,9 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 // handleTraces serves the tracer's rings: the most recent and the
 // slowest requests, each with a per-stage breakdown in microseconds.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
 	w.Header().Set("Cache-Control", "no-store")
 	recent, slowest := s.tracer.TraceViews()
 	writeJSON(w, http.StatusOK, map[string]any{

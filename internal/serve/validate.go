@@ -9,11 +9,16 @@ import (
 )
 
 // FieldError is one per-feature validation failure, addressed by both the
-// schema name and the positional index of the offending value.
+// schema name and the positional index of the offending value. For
+// range rejections the offending value and the fitted bounds ride along
+// so clients can fix units without consulting the model's training data.
 type FieldError struct {
-	Feature string `json:"feature"`
-	Index   int    `json:"index"`
-	Message string `json:"message"`
+	Feature string   `json:"feature"`
+	Index   int      `json:"index"`
+	Message string   `json:"message"`
+	Value   *float64 `json:"value,omitempty"`
+	Min     *float64 `json:"min,omitempty"`
+	Max     *float64 `json:"max,omitempty"`
 }
 
 // ValidationError aggregates every field failure of one record so clients
@@ -52,15 +57,18 @@ type featureRange struct {
 //     request is indistinguishable from a client bug;
 //   - continuous values outside the fitted [min, max] are legal — the
 //     level encoder clamps them by contract — but each produces a warning
-//     naming the fitted range, since silent clamping hides unit mistakes.
+//     naming the fitted range, since silent clamping hides unit mistakes;
+//     with rejectOutOfRange set they become per-feature errors instead,
+//     each carrying the offending value and the fitted bounds.
 type Validator struct {
-	feats         []featureRange
-	rejectMissing bool
+	feats            []featureRange
+	rejectMissing    bool
+	rejectOutOfRange bool
 }
 
 // NewValidator builds a validator from the deployment's fitted codebook.
-func NewValidator(cb *encode.Codebook, rejectMissing bool) *Validator {
-	v := &Validator{rejectMissing: rejectMissing}
+func NewValidator(cb *encode.Codebook, rejectMissing, rejectOutOfRange bool) *Validator {
+	v := &Validator{rejectMissing: rejectMissing, rejectOutOfRange: rejectOutOfRange}
 	for j, spec := range cb.Specs() {
 		fr := featureRange{spec: spec}
 		if lvl, ok := cb.Feature(j).(*encode.LevelEncoder); ok {
@@ -122,6 +130,14 @@ func (v *Validator) Validate(features []*float64, dst []float64) ([]float64, []s
 			continue
 		}
 		if f.hasRange && (t < f.min || t > f.max) {
+			if v.rejectOutOfRange {
+				val, lo, hi := t, f.min, f.max
+				fields = append(fields, FieldError{Feature: f.spec.Name, Index: j,
+					Message: fmt.Sprintf("value %v outside fitted range [%v, %v] rejected by server policy",
+						val, lo, hi),
+					Value: &val, Min: &lo, Max: &hi})
+				continue
+			}
 			warnings = append(warnings, fmt.Sprintf(
 				"feature %q value %v outside fitted range [%v, %v]; clamped per encode contract",
 				f.spec.Name, t, f.min, f.max))

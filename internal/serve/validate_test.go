@@ -22,7 +22,7 @@ func testCodebook(t *testing.T) *encode.Codebook {
 }
 
 func TestValidatorArity(t *testing.T) {
-	v := NewValidator(testCodebook(t), false)
+	v := NewValidator(testCodebook(t), false, false)
 	_, _, err := v.Validate(floats(1), nil)
 	if err == nil {
 		t.Fatal("short record accepted")
@@ -38,7 +38,7 @@ func TestValidatorArity(t *testing.T) {
 
 func TestValidatorMissingPolicy(t *testing.T) {
 	cb := testCodebook(t)
-	lenient := NewValidator(cb, false)
+	lenient := NewValidator(cb, false, false)
 	row, warnings, err := lenient.Validate([]*float64{nil, nil}, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -50,7 +50,7 @@ func TestValidatorMissingPolicy(t *testing.T) {
 		t.Fatalf("missing values materialized as %v, want NaN (encode contract)", row)
 	}
 
-	strict := NewValidator(cb, true)
+	strict := NewValidator(cb, true, false)
 	_, _, err = strict.Validate([]*float64{nil, nil}, nil)
 	verr, ok := err.(*ValidationError)
 	if !ok {
@@ -65,7 +65,7 @@ func TestValidatorMissingPolicy(t *testing.T) {
 }
 
 func TestValidatorNonFinite(t *testing.T) {
-	v := NewValidator(testCodebook(t), false)
+	v := NewValidator(testCodebook(t), false, false)
 	for _, bad := range []float64{math.Inf(1), math.Inf(-1), math.NaN()} {
 		_, _, err := v.Validate(floats(bad, 1), nil)
 		if err == nil {
@@ -75,7 +75,7 @@ func TestValidatorNonFinite(t *testing.T) {
 }
 
 func TestValidatorClampWarning(t *testing.T) {
-	v := NewValidator(testCodebook(t), false)
+	v := NewValidator(testCodebook(t), false, false)
 	row, warnings, err := v.Validate(floats(200, 1), nil)
 	if err != nil {
 		t.Fatal(err)
@@ -96,8 +96,39 @@ func TestValidatorClampWarning(t *testing.T) {
 	}
 }
 
+func TestValidatorRejectOutOfRange(t *testing.T) {
+	v := NewValidator(testCodebook(t), false, true)
+	_, _, err := v.Validate(floats(200, 1), nil)
+	verr, ok := err.(*ValidationError)
+	if !ok {
+		t.Fatalf("out-of-range value returned %v, want *ValidationError", err)
+	}
+	if len(verr.Fields) != 1 {
+		t.Fatalf("flagged %d fields, want 1", len(verr.Fields))
+	}
+	f := verr.Fields[0]
+	if f.Feature != "glucose" || f.Index != 0 {
+		t.Errorf("field error %+v misaddressed", f)
+	}
+	// The body must carry enough to fix the request without reading the
+	// training data: the offending value and both fitted bounds.
+	if f.Value == nil || *f.Value != 200 {
+		t.Errorf("Value = %v, want 200", f.Value)
+	}
+	if f.Min == nil || *f.Min != 0 || f.Max == nil || *f.Max != 10 {
+		t.Errorf("bounds = %v/%v, want 0/10", f.Min, f.Max)
+	}
+	if !strings.Contains(f.Message, "200") || !strings.Contains(f.Message, "[0, 10]") {
+		t.Errorf("message %q does not name the value and range", f.Message)
+	}
+	// In-range values still pass under the strict policy.
+	if _, _, err := v.Validate(floats(5, 1), nil); err != nil {
+		t.Fatalf("in-range value rejected: %v", err)
+	}
+}
+
 func TestValidatorRecyclesDst(t *testing.T) {
-	v := NewValidator(testCodebook(t), false)
+	v := NewValidator(testCodebook(t), false, false)
 	buf := make([]float64, 2)
 	row, _, err := v.Validate(floats(1, 0), buf)
 	if err != nil {
@@ -113,7 +144,7 @@ func TestValidatorRecyclesDst(t *testing.T) {
 // cell arrives as null or as NaN.
 func TestValidatorAgainstDeployment(t *testing.T) {
 	dep := testDeployment(t, 128)
-	v := NewValidator(dep.Extractor.Codebook(), false)
+	v := NewValidator(dep.Extractor.Codebook(), false, false)
 	if v.NumFeatures() != 8 {
 		t.Fatalf("validator arity %d", v.NumFeatures())
 	}

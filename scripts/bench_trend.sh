@@ -1,0 +1,27 @@
+#!/bin/sh
+# bench_trend.sh — diff the two most recent BENCH_<n>.json benchmark
+# reports with hdbench -trend. Advisory: prints deltas and flags >10%
+# regressions but always exits 0 (shared CI runners are too noisy for a
+# hard perf gate). With fewer than two reports it reports "seeding" and
+# exits 0 so the first PR that introduces the harness passes.
+#
+# Usage: sh scripts/bench_trend.sh [dir]   (default: repo root)
+set -eu
+
+cd "${1:-$(dirname "$0")/..}"
+
+# Collect BENCH_<n>.json sorted numerically by <n>.
+files=$(ls BENCH_*.json 2>/dev/null |
+  sed -n 's/^BENCH_\([0-9][0-9]*\)\.json$/\1 BENCH_\1.json/p' |
+  sort -n | awk '{print $2}')
+
+count=$(printf '%s\n' "$files" | grep -c . || true)
+if [ "$count" -lt 2 ]; then
+  echo "bench_trend: $count benchmark report(s) found — seeding, nothing to diff"
+  exit 0
+fi
+
+prev=$(printf '%s\n' "$files" | tail -n 2 | head -n 1)
+latest=$(printf '%s\n' "$files" | tail -n 1)
+
+go run ./cmd/hdbench -trend "$prev" "$latest"

@@ -57,6 +57,12 @@ for name in \
     hdserve_request_duration_seconds_bucket \
     hdserve_stage_duration_seconds_bucket \
     hdserve_batcher_queue_depth \
+    hdfe_drift_psi \
+    hdfe_drift_clamp_ratio \
+    hdfe_drift_rows_observed_total \
+    hdfe_drift_prediction_positive_ratio \
+    hdfe_quality_baseline_accuracy \
+    hdfe_quality_canary_healthy \
     go_goroutines; do
     if ! grep -q "^$name" "$TMP/metrics.txt"; then
         echo "obs-smoke: /metrics missing $name" >&2
@@ -73,10 +79,49 @@ for stage in validate batch_wait encode score respond; do
     fi
 done
 
+# An hdfe_drift_ series must be present with a live value (the scored
+# request above has been folded into the input histograms).
+if ! grep -q '^hdfe_drift_rows_observed_total 1' "$TMP/metrics.txt"; then
+    echo "obs-smoke: hdfe_drift_rows_observed_total did not count the scored request" >&2
+    grep '^hdfe_drift_' "$TMP/metrics.txt" >&2 || true
+    exit 1
+fi
+
 curl -sSf "http://$ADDR/debug/traces" | grep -q '"recent"' || {
     echo "obs-smoke: /debug/traces missing recent ring" >&2
     exit 1
 }
+
+# /debug/drift reports the full drift surface as JSON.
+DRIFT=$(curl -sSf "http://$ADDR/debug/drift")
+for field in '"input_drift_enabled":true' '"psi"' '"quality"' '"canary"'; do
+    case "$DRIFT" in
+    *"$field"*) ;;
+    *)
+        echo "obs-smoke: /debug/drift missing $field: $DRIFT" >&2
+        exit 1
+        ;;
+    esac
+done
+echo "obs-smoke: /debug/drift OK"
+
+# The delayed-label loop: feed the true label back using the request_id
+# from the score response and confirm it joins.
+REQ_ID=$(printf '%s' "$SCORE" | sed -n 's/.*"request_id":"\([^"]*\)".*/\1/p')
+if [ -z "$REQ_ID" ]; then
+    echo "obs-smoke: score response carries no request_id: $SCORE" >&2
+    exit 1
+fi
+FEEDBACK=$(curl -sSf -X POST "http://$ADDR/v1/feedback" \
+    -H 'Content-Type: application/json' \
+    -d "{\"request_id\":\"$REQ_ID\",\"label\":1}")
+case "$FEEDBACK" in
+*'"matched":1'*) echo "obs-smoke: feedback joined ($FEEDBACK)" ;;
+*)
+    echo "obs-smoke: feedback did not join: $FEEDBACK" >&2
+    exit 1
+    ;;
+esac
 
 kill "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true
