@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	hdserve -model dep.bin [-addr :8080] [-name pima] [-max-batch 32]
-//	        [-max-wait 2ms] [-timeout 5s] [-reject-missing]
+//	hdserve -model dep.bin [-shadow cand.bin] [-addr :8080] [-name pima]
+//	        [-max-batch 32] [-max-wait 2ms] [-timeout 5s] [-reject-missing]
 //	        [-reject-out-of-range] [-psi-warn 0.25] [-clamp-warn 0.01]
 //	        [-score-window 4096] [-feedback-cap 4096]
 //	        [-quality-window 1024] [-quality-tol 0.05]
@@ -17,6 +17,15 @@
 // writes that same deployment to a file and exits, producing a model
 // artifact for -model. On SIGINT/SIGTERM the server drains in-flight
 // requests before exiting.
+//
+// Model lifecycle: the boot model becomes registry version 1 and serves
+// until replaced. SIGHUP re-reads the -model artifact and hot-swaps it
+// with zero downtime (in-flight batches finish on the old model). POST
+// /admin/models/load loads a new artifact as the active model or — with
+// "shadow": true — as a shadow that re-scores the same validated
+// batches off the hot path and reports disagreement-rate and
+// score-delta metrics for canary comparison before promotion. -shadow
+// installs such a shadow at boot; GET /v1/models reports the registry.
 //
 // Observability: every request is logged structurally (log/slog, text or
 // JSON) with its trace ID, route, status, latency, and microbatch size.
@@ -47,6 +56,7 @@ import (
 
 	"hdfe/internal/core"
 	"hdfe/internal/obs"
+	"hdfe/internal/registry"
 	"hdfe/internal/serve"
 	"hdfe/internal/synth"
 )
@@ -69,6 +79,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		model         = fs.String("model", "", "deployment file written by core.Deployment.Save")
+		shadowPath    = fs.String("shadow", "", "deployment file to install as the shadow (canary) model")
 		name          = fs.String("name", "", "model name reported by /healthz (default: model file or \"demo\")")
 		addr          = fs.String("addr", ":8080", "listen address")
 		maxBatch      = fs.Int("max-batch", 32, "microbatch size cap")
@@ -113,7 +124,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
-	var dep *core.Deployment
+	var (
+		dep *core.Deployment
+		sha string
+	)
 	modelName := *name
 	switch {
 	case *demo && *model != "":
@@ -128,7 +142,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 	case *model != "":
 		var err error
-		if dep, err = core.LoadDeployment(*model); err != nil {
+		if dep, sha, err = registry.ReadFile(*model); err != nil {
 			return err
 		}
 		if modelName == "" {
@@ -140,6 +154,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 	srv := serve.New(dep, serve.Config{
 		ModelName:        modelName,
+		ModelPath:        *model,
+		ModelSHA256:      sha,
 		MaxBatch:         *maxBatch,
 		MaxWait:          *maxWait,
 		RequestTimeout:   *timeout,
@@ -154,6 +170,39 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		Logger:           logger,
 		EnablePprof:      *pprofFlag,
 	})
+	if *shadowPath != "" {
+		info, err := srv.LoadShadow(*shadowPath, "")
+		if err != nil {
+			return err
+		}
+		logger.Info("shadow model loaded",
+			"model", info.Name, "model_version", info.Version, "sha256", info.SHA256)
+	}
+
+	// SIGHUP hot-swaps the active model by re-reading its backing
+	// artifact. A failed reload (missing file, corrupt artifact, schema
+	// mismatch, or an in-process -demo model) is logged and the current
+	// model keeps serving.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				info, err := srv.ReloadModel()
+				if err != nil {
+					logger.Error("model reload failed", "err", err)
+					continue
+				}
+				logger.Info("model reloaded",
+					"model", info.Name, "model_version", info.Version, "sha256", info.SHA256)
+			}
+		}
+	}()
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

@@ -9,8 +9,10 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -190,6 +192,155 @@ func TestRunJSONLogsAndPprof(t *testing.T) {
 	resp.Body.Close()
 	if !strings.Contains(string(prom), "hdserve_stage_duration_seconds_bucket") {
 		t.Errorf("/metrics missing stage histograms:\n%.400s", prom)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not exit after context cancellation")
+	}
+}
+
+// TestRunModelLifecycle drives the lifecycle surface end to end: boot
+// with -model and -shadow, hot-swap via SIGHUP, promote a different
+// artifact through /admin/models/load, and watch /v1/models and the
+// model_version metric labels track every step.
+func TestRunModelLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	modelA := filepath.Join(dir, "a.bin")
+	modelB := filepath.Join(dir, "b.bin")
+	var out, errOut bytes.Buffer
+	if err := run(context.Background(), []string{"-write-demo", modelA, "-dim", "128", "-seed", "42"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-write-demo", modelB, "-dim", "128", "-seed", "43"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stdout := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-model", modelA, "-shadow", modelB, "-name", "boot",
+			"-addr", "127.0.0.1:0", "-max-wait", "1ms"}, stdout, &errOut)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := addrRe.FindStringSubmatch(stdout.String()); m != nil {
+			addr = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("server never reported its address; stdout %q", stdout.String())
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	type info struct {
+		Version uint64 `json:"version"`
+		Name    string `json:"name"`
+		Path    string `json:"path"`
+		SHA256  string `json:"sha256"`
+	}
+	type models struct {
+		Active info   `json:"active"`
+		Shadow *info  `json:"shadow"`
+		Swaps  uint64 `json:"swaps"`
+		Loaded []info `json:"loaded"`
+	}
+	getModels := func() models {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + "/v1/models")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m models
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	m := getModels()
+	if m.Active.Version != 1 || m.Active.Name != "boot" || m.Active.Path != modelA || len(m.Active.SHA256) != 64 {
+		t.Fatalf("boot active %+v", m.Active)
+	}
+	if m.Shadow == nil || m.Shadow.Version != 2 || m.Shadow.Path != modelB {
+		t.Fatalf("boot shadow %+v", m.Shadow)
+	}
+
+	// SIGHUP re-reads -model and promotes the fresh copy as version 3.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for getModels().Active.Version != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("SIGHUP reload never landed; registry %+v stdout %q", getModels(), stdout.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	m = getModels()
+	if m.Active.Path != modelA || m.Swaps != 1 {
+		t.Fatalf("after SIGHUP: %+v", m)
+	}
+	if !strings.Contains(stdout.String(), "model reloaded") {
+		t.Errorf("no reload log line; stdout %q", stdout.String())
+	}
+
+	// The admin endpoint promotes a different artifact as version 4.
+	resp, err := http.Post("http://"+addr+"/admin/models/load", "application/json",
+		strings.NewReader(`{"path":`+strconv.Quote(modelB)+`,"name":"b"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin load status %d body %s", resp.StatusCode, loadBody)
+	}
+	m = getModels()
+	if m.Active.Version != 4 || m.Active.Name != "b" || m.Swaps != 2 || len(m.Loaded) != 4 {
+		t.Fatalf("after admin load: %+v", m)
+	}
+
+	// Scoring now attributes to version 4, and the exposition carries the
+	// model_version label plus the swap counter.
+	resp, err = http.Post("http://"+addr+"/v1/score", "application/json",
+		strings.NewReader(`{"features":[2,120,70,25,100,30.5,0.4,40]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr struct {
+		ModelVersion uint64 `json:"model_version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sr.ModelVersion != 4 {
+		t.Errorf("score attributed to version %d, want 4", sr.ModelVersion)
+	}
+	resp, err = http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"hdserve_model_swaps_total 2",
+		`model_version="4"`,
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 
 	cancel()

@@ -143,6 +143,11 @@ func (e *Extractor) Codebook() *encode.Codebook {
 	return e.cb
 }
 
+// Options returns the configuration the extractor was built with. For a
+// deployment reloaded from disk this is the fitted configuration the
+// codebook carries (Seed is training-time only and not restored).
+func (e *Extractor) Options() Options { return e.opts }
+
 func (e *Extractor) mustFit() {
 	if e.cb == nil {
 		panic("core: extractor used before Fit")

@@ -212,6 +212,16 @@ func ReadDeployment(r io.Reader) (*Deployment, error) {
 			return nil, fmt.Errorf("core: bad drift reference flag %d", hasRef)
 		}
 	}
+	// A well-formed artifact ends exactly here. Trailing bytes mean a
+	// corrupt or concatenated file; refuse it rather than silently serve
+	// a model whose artifact does not round-trip.
+	switch _, err := br.ReadByte(); err {
+	case io.EOF:
+	case nil:
+		return nil, fmt.Errorf("core: trailing garbage after deployment data")
+	default:
+		return nil, fmt.Errorf("core: checking for trailing data: %w", err)
+	}
 	return &Deployment{
 		// The codebook serializes tie and mode alongside the encoders, so a
 		// reloaded deployment carries the full fitted configuration (Seed is

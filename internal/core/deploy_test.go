@@ -228,7 +228,11 @@ func TestReadDeploymentV1Golden(t *testing.T) {
 	}
 }
 
-func TestReadDeploymentRejectsTruncation(t *testing.T) {
+// TestReadDeploymentCorruptArtifacts is the corrupt-artifact table: a
+// model file that does not parse cleanly end to end must be refused
+// with a descriptive error, never loaded partially. Truncation is
+// exhaustive — every proper prefix of a valid artifact is rejected.
+func TestReadDeploymentCorruptArtifacts(t *testing.T) {
 	d := toyDataset()
 	dep, err := BuildDeployment(SpecsFor(d.Features), d.X, d.Y, Options{Dim: 512, Seed: 3})
 	if err != nil {
@@ -239,10 +243,75 @@ func TestReadDeploymentRejectsTruncation(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := buf.Bytes()
-	for _, cut := range []int{len(data) / 3, len(data) - 5} {
+
+	// Every proper prefix must fail: there is no byte at which a
+	// truncated artifact still reads as a valid deployment.
+	for cut := 0; cut < len(data); cut++ {
 		if _, err := ReadDeployment(bytes.NewReader(data[:cut])); err == nil {
-			t.Errorf("truncation at %d accepted", cut)
+			t.Fatalf("truncation at byte %d of %d accepted", cut, len(data))
 		}
+	}
+
+	// Byte-level corruption table over targeted offsets.
+	mutate := func(mut func([]byte) []byte) []byte {
+		return mut(append([]byte(nil), data...))
+	}
+	for _, tc := range []struct {
+		name    string
+		in      []byte
+		wantErr string
+	}{
+		{
+			"bad magic",
+			mutate(func(b []byte) []byte { b[0] = 'X'; return b }),
+			"bad deployment magic",
+		},
+		{
+			"trailing garbage byte",
+			mutate(func(b []byte) []byte { return append(b, 0x00) }),
+			"trailing garbage",
+		},
+		{
+			"concatenated artifacts",
+			mutate(func(b []byte) []byte { return append(b, data...) }),
+			"trailing garbage",
+		},
+		{
+			"bad drift reference flag",
+			func() []byte {
+				// With Ref stripped, the flag byte is the final byte of the
+				// serialization; any value outside {0, 1} is refused.
+				noRef := *dep
+				noRef.Ref = nil
+				var nb bytes.Buffer
+				if _, err := noRef.WriteTo(&nb); err != nil {
+					t.Fatal(err)
+				}
+				b := nb.Bytes()
+				b[len(b)-1] = 2
+				return b
+			}(),
+			"bad drift reference flag",
+		},
+	} {
+		_, err := ReadDeployment(bytes.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+
+	// The file loader wraps corruption errors with the path, so operator
+	// logs name the artifact that failed.
+	bad := filepath.Join(t.TempDir(), "corrupt.bin")
+	if err := os.WriteFile(bad, append(append([]byte(nil), data...), 0xFF), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDeployment(bad); err == nil || !strings.Contains(err.Error(), bad) {
+		t.Errorf("LoadDeployment on corrupt file: %v, want error naming %s", err, bad)
 	}
 }
 

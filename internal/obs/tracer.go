@@ -15,7 +15,8 @@ type Trace struct {
 	Status int
 	Start  time.Time
 	Total  time.Duration
-	Batch  int // microbatch size the record was scored in (0 if n/a)
+	Batch  int    // microbatch size the record was scored in (0 if n/a)
+	Model  uint64 // registry version of the model that scored it (0 if n/a)
 	Stages [NumStages]time.Duration
 }
 
@@ -143,6 +144,16 @@ func (a *ActiveTrace) SetBatch(n int) {
 	a.t.Batch = n
 }
 
+// SetModel records the registry version of the model that scored the
+// request — under hot-swapping, the version at scoring time, not at
+// request arrival.
+func (a *ActiveTrace) SetModel(version uint64) {
+	if a == nil {
+		return
+	}
+	a.t.Model = version
+}
+
 // Finish closes the trace with the response status, folds every recorded
 // stage into the tracer's histograms, files the trace into the
 // recent/slowest rings, and recycles the recorder. It returns a copy of
@@ -216,6 +227,7 @@ type TraceView struct {
 	Start       time.Time          `json:"start"`
 	TotalMicros float64            `json:"total_us"`
 	Batch       int                `json:"batch_size,omitempty"`
+	Model       uint64             `json:"model_version,omitempty"`
 	Stages      map[string]float64 `json:"stages_us"`
 }
 
@@ -227,6 +239,7 @@ func (t Trace) view() TraceView {
 		Start:       t.Start,
 		TotalMicros: float64(t.Total) / float64(time.Microsecond),
 		Batch:       t.Batch,
+		Model:       t.Model,
 		Stages:      make(map[string]float64, NumStages),
 	}
 	for s := 0; s < NumStages; s++ {

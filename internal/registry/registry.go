@@ -1,0 +1,245 @@
+// Package registry is the versioned model registry behind hdserve's
+// zero-downtime model lifecycle. It owns every loaded model — identity
+// (monotonic version, name, backing path, artifact SHA-256, load time),
+// the active/shadow publication slots, and graceful retirement: a
+// replaced model keeps serving its in-flight batches and is only
+// declared drained when the last reference is released.
+//
+// The hot path is lock-free: Active/Shadow and AcquireActive/
+// AcquireShadow go through atomic pointers, so scoring never contends
+// with a concurrent load or promote. Mutation (Adopt, Promote,
+// SetShadow) takes a mutex — model swaps are rare and cheap relative to
+// scoring traffic.
+package registry
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdfe/internal/core"
+)
+
+// Info identifies one loaded model. It is immutable once the model is
+// adopted and safe to hand to JSON encoders and log lines.
+type Info struct {
+	// Version is the registry-assigned monotonic model version, starting
+	// at 1 for the boot model. It is the value of the model_version
+	// metric label.
+	Version uint64 `json:"version"`
+	// Name is the human-facing model name (flag -name, admin "name"
+	// field, or the backing path when neither is given).
+	Name string `json:"name"`
+	// Path is the artifact file the model was loaded from ("" for
+	// in-process models, e.g. -demo).
+	Path string `json:"path,omitempty"`
+	// SHA256 is the hex digest of the artifact bytes ("" for in-process
+	// models).
+	SHA256 string `json:"sha256,omitempty"`
+	// Dim and Features describe the fitted schema.
+	Dim      int `json:"dim"`
+	Features int `json:"features"`
+	// LoadedAt is when the registry adopted the model.
+	LoadedAt time.Time `json:"loaded_at"`
+}
+
+// Model is one adopted model: its identity, its scorer, and its
+// lifecycle state. Scoring paths hold a Model reference (via
+// AcquireActive/AcquireShadow) for exactly as long as they use the
+// scorer; when a retired model's last reference drops, Drained closes.
+type Model struct {
+	info   Info
+	scorer core.Scorer
+	// state is the serving layer's per-model companion (validator, drift
+	// trackers). It is written once via SetState before the model is
+	// published; the atomic publication pointer orders that write before
+	// any reader, so a plain field is race-free.
+	state any
+
+	// refs counts the publication slot (1, dropped by retire) plus every
+	// in-flight acquisition. retired flips once the model leaves its
+	// slot; the drained channel closes when refs then reaches zero.
+	refs      atomic.Int64
+	retired   atomic.Bool
+	drainOnce sync.Once
+	drained   chan struct{}
+}
+
+// Info returns the model's immutable identity.
+func (m *Model) Info() Info { return m.info }
+
+// Scorer returns the model's scorer.
+func (m *Model) Scorer() core.Scorer { return m.scorer }
+
+// SetState attaches the serving layer's per-model state. It must be
+// called before the model is promoted or set as shadow; the publication
+// store/load pair makes the write visible to every acquirer.
+func (m *Model) SetState(state any) { m.state = state }
+
+// State returns the value passed to SetState (nil if none).
+func (m *Model) State() any { return m.state }
+
+// Release drops one acquisition obtained from AcquireActive or
+// AcquireShadow. The last release of a retired model closes Drained.
+func (m *Model) Release() {
+	if m.refs.Add(-1) == 0 {
+		// refs can only reach zero after retire dropped the publication
+		// reference, so this model is both unpublished and idle: drained.
+		m.drainOnce.Do(func() { close(m.drained) })
+	}
+}
+
+// Drained returns a channel that closes once the model has been retired
+// and its last in-flight use has finished — the graceful-retirement
+// signal tests and operators wait on.
+func (m *Model) Drained() <-chan struct{} { return m.drained }
+
+// Retired reports whether the model has left its publication slot.
+func (m *Model) Retired() bool { return m.retired.Load() }
+
+// retire removes the model's publication reference. Called by the
+// registry after the model has been swapped out of its slot; idempotent.
+func (m *Model) retire() {
+	if m.retired.CompareAndSwap(false, true) {
+		m.Release()
+	}
+}
+
+// Registry tracks every adopted model and publishes the active and
+// shadow slots. The zero value is not usable; construct with New.
+type Registry struct {
+	mu      sync.Mutex
+	nextVer uint64
+	loaded  []Info
+
+	active atomic.Pointer[Model]
+	shadow atomic.Pointer[Model]
+	swaps  atomic.Uint64
+}
+
+// New returns an empty registry: no active model, no shadow.
+func New() *Registry { return &Registry{} }
+
+// Adopt registers a scorer under a fresh version number without
+// publishing it. path and sha identify the backing artifact and may be
+// empty for in-process models. Call SetState on the returned model
+// before Promote/SetShadow.
+func (r *Registry) Adopt(sc core.Scorer, name, path, sha string) *Model {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextVer++
+	m := &Model{
+		info: Info{
+			Version:  r.nextVer,
+			Name:     name,
+			Path:     path,
+			SHA256:   sha,
+			Dim:      sc.Dim(),
+			Features: len(sc.Specs()),
+			LoadedAt: time.Now(),
+		},
+		scorer:  sc,
+		drained: make(chan struct{}),
+	}
+	m.refs.Store(1) // the publication reference, dropped by retire
+	r.loaded = append(r.loaded, m.info)
+	return m
+}
+
+// Promote atomically publishes m as the active model and retires the
+// previous one (which keeps serving its in-flight batches until its
+// references drain). It returns the replaced model, nil on first
+// promote.
+func (r *Registry) Promote(m *Model) *Model {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.active.Swap(m)
+	if old != nil {
+		r.swaps.Add(1)
+		old.retire()
+	}
+	return old
+}
+
+// SetShadow atomically publishes m as the shadow model (nil clears the
+// slot) and retires the previous shadow. It returns the replaced model.
+func (r *Registry) SetShadow(m *Model) *Model {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.shadow.Swap(m)
+	if old != nil {
+		old.retire()
+	}
+	return old
+}
+
+// Active returns the published active model without acquiring it — for
+// identity reads (Info, per-model state), not for scoring. Nil before
+// the first Promote.
+func (r *Registry) Active() *Model { return r.active.Load() }
+
+// Shadow returns the published shadow model without acquiring it, nil
+// when no shadow is configured.
+func (r *Registry) Shadow() *Model { return r.shadow.Load() }
+
+// AcquireActive returns the active model with one reference held, or
+// nil if none is published. The caller must Release after its last use
+// of the scorer. Lock-free: a concurrent Promote costs at most one
+// retry.
+func (r *Registry) AcquireActive() *Model { return acquire(&r.active) }
+
+// AcquireShadow is AcquireActive for the shadow slot.
+func (r *Registry) AcquireShadow() *Model { return acquire(&r.shadow) }
+
+// acquire takes a reference on the slot's current model, retrying if
+// the model was swapped out between the load and the ref bump (the
+// stale reference is returned and the new occupant acquired instead).
+func acquire(slot *atomic.Pointer[Model]) *Model {
+	for {
+		m := slot.Load()
+		if m == nil {
+			return nil
+		}
+		m.refs.Add(1)
+		if slot.Load() == m {
+			return m
+		}
+		// The slot moved on while we were acquiring: this reference may
+		// belong to an already-retired model. Drop it and retry against
+		// the new occupant.
+		m.Release()
+	}
+}
+
+// Swaps reports how many times the active slot replaced a previous
+// model (the boot promote does not count).
+func (r *Registry) Swaps() uint64 { return r.swaps.Load() }
+
+// Loaded returns the adoption history, oldest first.
+func (r *Registry) Loaded() []Info {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Info(nil), r.loaded...)
+}
+
+// ReadFile loads a deployment artifact and returns it with the hex
+// SHA-256 of the file bytes — the identity the registry records and the
+// /v1/models endpoint reports. The whole file is read up front so the
+// digest covers exactly the bytes that were parsed.
+func ReadFile(path string) (*core.Deployment, string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("registry: reading model artifact: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	dep, err := core.ReadDeployment(bytes.NewReader(raw))
+	if err != nil {
+		return nil, "", fmt.Errorf("registry: loading model from %s: %w", path, err)
+	}
+	return dep, hex.EncodeToString(sum[:]), nil
+}

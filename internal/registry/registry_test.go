@@ -1,0 +1,209 @@
+package registry
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"hdfe/internal/core"
+	"hdfe/internal/synth"
+)
+
+func testDeployment(t *testing.T, dim int, seed uint64) *core.Deployment {
+	t.Helper()
+	d := synth.PimaM(seed)
+	dep, err := core.BuildDeployment(core.SpecsFor(d.Features), d.X, d.Y, core.Options{Dim: dim, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep
+}
+
+func TestAdoptAssignsMonotonicVersions(t *testing.T) {
+	r := New()
+	dep := testDeployment(t, 64, 7)
+	a := r.Adopt(dep, "a", "/models/a.bin", "sha-a")
+	b := r.Adopt(dep, "b", "", "")
+	if a.Info().Version != 1 || b.Info().Version != 2 {
+		t.Fatalf("versions %d, %d, want 1, 2", a.Info().Version, b.Info().Version)
+	}
+	if a.Info().Name != "a" || a.Info().Path != "/models/a.bin" || a.Info().SHA256 != "sha-a" {
+		t.Errorf("info %+v", a.Info())
+	}
+	if a.Info().Dim != 64 || a.Info().Features != 8 {
+		t.Errorf("schema info %+v, want dim 64, 8 features", a.Info())
+	}
+	if a.Info().LoadedAt.IsZero() {
+		t.Error("LoadedAt not stamped")
+	}
+	hist := r.Loaded()
+	if len(hist) != 2 || hist[0].Version != 1 || hist[1].Version != 2 {
+		t.Errorf("history %+v", hist)
+	}
+}
+
+func TestPromoteRetiresAndDrains(t *testing.T) {
+	r := New()
+	dep := testDeployment(t, 64, 7)
+	a := r.Adopt(dep, "a", "", "")
+	if old := r.Promote(a); old != nil {
+		t.Fatalf("first promote replaced %v", old.Info())
+	}
+	if r.Swaps() != 0 {
+		t.Errorf("swaps %d after boot promote, want 0", r.Swaps())
+	}
+
+	// Hold a scoring reference across the swap: the old model must not
+	// drain until it is released.
+	held := r.AcquireActive()
+	if held != a {
+		t.Fatalf("acquired %v, want the promoted model", held.Info())
+	}
+
+	b := r.Adopt(dep, "b", "", "")
+	if old := r.Promote(b); old != a {
+		t.Fatalf("promote replaced %v, want a", old)
+	}
+	if r.Swaps() != 1 {
+		t.Errorf("swaps %d after replacement, want 1", r.Swaps())
+	}
+	if !a.Retired() {
+		t.Error("replaced model not retired")
+	}
+	if b.Retired() {
+		t.Error("new active model reports retired")
+	}
+	select {
+	case <-a.Drained():
+		t.Fatal("retired model drained while a reference is held")
+	case <-time.After(10 * time.Millisecond):
+	}
+	held.Release()
+	select {
+	case <-a.Drained():
+	case <-time.After(time.Second):
+		t.Fatal("retired model never drained after the last release")
+	}
+}
+
+func TestAcquireRetriesAcrossConcurrentSwaps(t *testing.T) {
+	r := New()
+	dep := testDeployment(t, 64, 7)
+	r.Promote(r.Adopt(dep, "boot", "", ""))
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := r.AcquireActive()
+				if m == nil {
+					t.Error("AcquireActive returned nil with a model promoted")
+					return
+				}
+				// An acquired model must not be drained while we hold it.
+				select {
+				case <-m.Drained():
+					t.Error("acquired a drained model")
+					m.Release()
+					return
+				default:
+				}
+				m.Release()
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		r.Promote(r.Adopt(dep, "next", "", ""))
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestShadowSlot(t *testing.T) {
+	r := New()
+	dep := testDeployment(t, 64, 7)
+	if r.Shadow() != nil || r.AcquireShadow() != nil {
+		t.Fatal("empty registry reports a shadow")
+	}
+	s1 := r.Adopt(dep, "s1", "", "")
+	if old := r.SetShadow(s1); old != nil {
+		t.Fatalf("first SetShadow replaced %v", old)
+	}
+	if r.Shadow() != s1 {
+		t.Fatal("shadow slot not published")
+	}
+	s2 := r.Adopt(dep, "s2", "", "")
+	if old := r.SetShadow(s2); old != s1 {
+		t.Fatalf("SetShadow replaced %v, want s1", old)
+	}
+	select {
+	case <-s1.Drained():
+	case <-time.After(time.Second):
+		t.Fatal("replaced shadow never drained")
+	}
+	if r.SetShadow(nil) != s2 {
+		t.Fatal("clearing the shadow did not return s2")
+	}
+	if r.Shadow() != nil {
+		t.Fatal("shadow slot not cleared")
+	}
+}
+
+func TestModelState(t *testing.T) {
+	r := New()
+	m := r.Adopt(testDeployment(t, 64, 7), "a", "", "")
+	if m.State() != nil {
+		t.Fatal("fresh model carries state")
+	}
+	type payload struct{ x int }
+	m.SetState(&payload{x: 42})
+	if got := m.State().(*payload); got.x != 42 {
+		t.Fatalf("state %+v", got)
+	}
+}
+
+func TestReadFile(t *testing.T) {
+	dep := testDeployment(t, 64, 7)
+	path := filepath.Join(t.TempDir(), "dep.bin")
+	if err := dep.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, sha, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sha) != 64 {
+		t.Errorf("sha256 hex %q, want 64 chars", sha)
+	}
+	d := synth.PimaM(7)
+	if got.Score(d.X[0]) != dep.Score(d.X[0]) {
+		t.Error("reloaded model scores differently")
+	}
+	// The digest covers the file bytes: rewriting the same content must
+	// reproduce it, corrupting the file must change it (or fail to parse).
+	_, sha2, err := ReadFile(path)
+	if err != nil || sha2 != sha {
+		t.Errorf("digest not deterministic: %q vs %q (%v)", sha, sha2, err)
+	}
+
+	if _, _, err := ReadFile(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Error("ReadFile on a missing path succeeded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.bin")
+	if err := os.WriteFile(bad, []byte("not a deployment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFile(bad); err == nil {
+		t.Error("ReadFile on garbage succeeded")
+	}
+}

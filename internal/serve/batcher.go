@@ -6,8 +6,8 @@ import (
 	"sync"
 	"time"
 
-	"hdfe/internal/core"
 	"hdfe/internal/obs"
+	"hdfe/internal/registry"
 )
 
 // ErrClosed is returned by Submit once the batcher has begun shutting down.
@@ -26,25 +26,29 @@ type BatchTimings struct {
 
 // request is one queued single-record scoring request. resp is buffered so
 // the batch loop never blocks on a caller that gave up (context expiry).
-// The loop writes timings before sending on resp, so a submitter that
-// received its score may read them race-free; a submitter that timed out
-// never looks.
+// The loop writes timings and the scoring model's state before sending on
+// resp, so a submitter that received its score may read them race-free; a
+// submitter that timed out never looks.
 type request struct {
 	row     []float64
 	enq     time.Time
 	timings BatchTimings
+	st      *modelState // the model that scored this request
 	resp    chan float64
 }
 
 // Batcher coalesces concurrent single-record scoring requests into
-// Deployment.ScoreBatch calls: the first queued request opens a batch,
-// which closes when it reaches maxBatch records or maxWait elapses,
-// whichever comes first. One goroutine runs the batches sequentially on
-// recycled row/score buffers, so steady-state serving rides the PR-1
-// zero-allocation path — throughput scales with batch coalescing instead
-// of per-request encode goroutines.
+// ScoreBatch calls against whatever model is active when each batch is
+// scored: the first queued request opens a batch, which closes when it
+// reaches maxBatch records or maxWait elapses, whichever comes first.
+// One goroutine runs the batches sequentially on recycled row/score
+// buffers, acquiring the active model exactly once per batch — so every
+// record in a batch is scored by the same model version even while a
+// hot-swap is in flight, and a retired model's drain waits for the
+// batch that holds it.
 type Batcher struct {
-	dep      *core.Deployment
+	reg      *registry.Registry
+	shadow   *shadowScorer // nil disables shadow comparison
 	maxBatch int
 	maxWait  time.Duration
 	metrics  *Metrics
@@ -56,10 +60,11 @@ type Batcher struct {
 	done   chan struct{}
 }
 
-// NewBatcher starts a batcher over dep. maxBatch <= 0 defaults to 32;
-// maxWait < 0 defaults to 2ms (0 is honoured: score whatever is
-// immediately queued). metrics may be nil.
-func NewBatcher(dep *core.Deployment, maxBatch int, maxWait time.Duration, metrics *Metrics) *Batcher {
+// newBatcher starts a batcher over the registry's active slot, which
+// must already be populated. maxBatch <= 0 defaults to 32; maxWait < 0
+// defaults to 2ms (0 is honoured: score whatever is immediately
+// queued). metrics and shadow may be nil.
+func newBatcher(reg *registry.Registry, maxBatch int, maxWait time.Duration, metrics *Metrics, shadow *shadowScorer) *Batcher {
 	if maxBatch <= 0 {
 		maxBatch = 32
 	}
@@ -67,7 +72,8 @@ func NewBatcher(dep *core.Deployment, maxBatch int, maxWait time.Duration, metri
 		maxWait = 2 * time.Millisecond
 	}
 	b := &Batcher{
-		dep:      dep,
+		reg:      reg,
+		shadow:   shadow,
 		maxBatch: maxBatch,
 		maxWait:  maxWait,
 		metrics:  metrics,
@@ -95,18 +101,20 @@ func (b *Batcher) Draining() bool {
 // by the batch loop after Submit returns control to the loop, so callers
 // must not reuse it until Submit returns.
 func (b *Batcher) Submit(ctx context.Context, row []float64) (float64, error) {
-	score, _, err := b.SubmitTimed(ctx, row)
+	score, _, _, err := b.submitTimed(ctx, row)
 	return score, err
 }
 
-// SubmitTimed is Submit also returning the request's per-stage cost
-// breakdown (zero on error).
-func (b *Batcher) SubmitTimed(ctx context.Context, row []float64) (float64, BatchTimings, error) {
+// submitTimed is Submit also returning the request's per-stage cost
+// breakdown and the state of the model that scored it (both zero/nil on
+// error). The returned state is for attribution — drift observation,
+// labels, trace tagging — and carries no scoring reference.
+func (b *Batcher) submitTimed(ctx context.Context, row []float64) (float64, BatchTimings, *modelState, error) {
 	req := &request{row: row, enq: time.Now(), resp: make(chan float64, 1)}
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
-		return 0, BatchTimings{}, ErrClosed
+		return 0, BatchTimings{}, nil, ErrClosed
 	}
 	// Enqueue under the read lock: Close takes the write lock before
 	// closing reqs, so no send can race the close. The channel drains
@@ -117,15 +125,15 @@ func (b *Batcher) SubmitTimed(ctx context.Context, row []float64) (float64, Batc
 		b.mu.RUnlock()
 	case <-ctx.Done():
 		b.mu.RUnlock()
-		return 0, BatchTimings{}, ctx.Err()
+		return 0, BatchTimings{}, nil, ctx.Err()
 	}
 	select {
 	case score := <-req.resp:
-		return score, req.timings, nil
+		return score, req.timings, req.st, nil
 	case <-ctx.Done():
 		// The loop still scores the request; the buffered resp channel
 		// absorbs the answer nobody is waiting for.
-		return 0, BatchTimings{}, ctx.Err()
+		return 0, BatchTimings{}, nil, ctx.Err()
 	}
 }
 
@@ -188,10 +196,21 @@ func (b *Batcher) loop() {
 			rows = append(rows, r.row)
 		}
 		formed := time.Now()
+		// Acquire the active model once for the whole batch: every record
+		// is scored by the same version, and a model swapped out mid-batch
+		// stays alive (its Drained channel open) until the reference is
+		// released below.
+		m := b.reg.AcquireActive()
+		st := m.State().(*modelState)
 		b.acc.Reset()
-		dst = b.dep.ScoreBatchIntoObserved(rows, dst, &b.acc)
+		dst = st.scorer.ScoreBatchIntoObserved(rows, dst, &b.acc)
 		if b.metrics != nil {
 			b.metrics.ObserveBatch(len(batch))
+		}
+		if b.shadow != nil {
+			// submit deep-copies rows and scores before returning, so the
+			// response sends below may hand row ownership back to callers.
+			b.shadow.submit(rows, dst)
 		}
 		encTotal, distTotal, _ := b.acc.Totals()
 		n := time.Duration(len(batch))
@@ -203,7 +222,9 @@ func (b *Batcher) loop() {
 				Distance: distPer,
 				Size:     len(batch),
 			}
+			r.st = st
 			r.resp <- dst[i]
 		}
+		m.Release()
 	}
 }

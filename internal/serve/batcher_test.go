@@ -6,12 +6,25 @@ import (
 	"testing"
 	"time"
 
+	"hdfe/internal/core"
+	"hdfe/internal/registry"
 	"hdfe/internal/synth"
 )
 
+// testBatcher builds a batcher over a single-model registry, the shape
+// every pre-lifecycle test used.
+func testBatcher(t *testing.T, dep *core.Deployment, maxBatch int, maxWait time.Duration, m *Metrics) *Batcher {
+	t.Helper()
+	reg := registry.New()
+	model := reg.Adopt(dep, "batcher-test", "", "")
+	newModelState(model, Config{}.withDefaults())
+	reg.Promote(model)
+	return newBatcher(reg, maxBatch, maxWait, m, nil)
+}
+
 func TestBatcherScoresMatchDirect(t *testing.T) {
 	dep := testDeployment(t, 128)
-	b := NewBatcher(dep, 16, time.Millisecond, nil)
+	b := testBatcher(t, dep, 16, time.Millisecond, nil)
 	defer b.Close()
 
 	d := synth.PimaM(7)
@@ -43,7 +56,7 @@ func TestBatcherRespectsMaxBatch(t *testing.T) {
 	dep := testDeployment(t, 128)
 	m := NewMetrics()
 	// A long wait forces every batch to close on size, not time.
-	b := NewBatcher(dep, 4, time.Second, m)
+	b := testBatcher(t, dep, 4, time.Second, m)
 	defer b.Close()
 
 	row := synth.PimaM(7).X[0]
@@ -74,7 +87,7 @@ func TestBatcherRespectsMaxBatch(t *testing.T) {
 
 func TestBatcherSubmitAfterCloseFails(t *testing.T) {
 	dep := testDeployment(t, 128)
-	b := NewBatcher(dep, 8, time.Millisecond, nil)
+	b := testBatcher(t, dep, 8, time.Millisecond, nil)
 	b.Close()
 	b.Close() // idempotent
 	if _, err := b.Submit(context.Background(), synth.PimaM(7).X[0]); err != ErrClosed {
@@ -84,7 +97,7 @@ func TestBatcherSubmitAfterCloseFails(t *testing.T) {
 
 func TestBatcherSubmitHonoursContext(t *testing.T) {
 	dep := testDeployment(t, 128)
-	b := NewBatcher(dep, 8, time.Millisecond, nil)
+	b := testBatcher(t, dep, 8, time.Millisecond, nil)
 	defer b.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -95,10 +108,10 @@ func TestBatcherSubmitHonoursContext(t *testing.T) {
 
 // TestBatcherSubmitTimedReportsStages pins the per-request cost
 // breakdown the batch loop hands back: real batch-wait time, amortized
-// encode/distance shares, and the batch size.
+// encode/distance shares, the batch size, and the scoring model's state.
 func TestBatcherSubmitTimedReportsStages(t *testing.T) {
 	dep := testDeployment(t, 128)
-	b := NewBatcher(dep, 16, time.Millisecond, nil)
+	b := testBatcher(t, dep, 16, time.Millisecond, nil)
 	defer b.Close()
 
 	d := synth.PimaM(7)
@@ -109,13 +122,16 @@ func TestBatcherSubmitTimedReportsStages(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			row := d.X[i%len(d.X)]
-			got, bt, err := b.SubmitTimed(context.Background(), row)
+			got, bt, st, err := b.submitTimed(context.Background(), row)
 			if err != nil {
 				t.Error(err)
 				return
 			}
 			if want := dep.Score(row); got != want {
 				t.Errorf("row %d: timed submit %v, direct %v", i, got, want)
+			}
+			if st == nil || st.version() != 1 {
+				t.Errorf("row %d: scored by model state %v, want version 1", i, st)
 			}
 			timings <- bt
 		}(i)
@@ -139,7 +155,7 @@ func TestBatcherSubmitTimedReportsStages(t *testing.T) {
 
 func TestBatcherQueueDepthAndDraining(t *testing.T) {
 	dep := testDeployment(t, 128)
-	b := NewBatcher(dep, 8, time.Millisecond, nil)
+	b := testBatcher(t, dep, 8, time.Millisecond, nil)
 	if b.Draining() {
 		t.Error("fresh batcher reports draining")
 	}
@@ -158,7 +174,7 @@ func TestBatcherCloseDrainsQueued(t *testing.T) {
 	const queued = 48
 	dep := testDeployment(t, 128)
 	// Huge maxWait: requests pile into one open batch until Close drains.
-	b := NewBatcher(dep, 1024, time.Hour, nil)
+	b := testBatcher(t, dep, 1024, time.Hour, nil)
 	row := synth.PimaM(7).X[0]
 	want := dep.Score(row)
 

@@ -7,43 +7,47 @@ import (
 	"strconv"
 	"sync"
 
-	"hdfe/internal/core"
 	"hdfe/internal/drift"
 	"hdfe/internal/obs"
 )
 
-// driftState bundles the server's model/data observability: the input
-// drift monitor (live per-feature histograms against the deployment's
+// driftState bundles one model's data/quality observability: the input
+// drift monitor (live per-feature histograms against that model's
 // training reference), the rolling score window for prediction drift,
-// and the delayed-label quality tracker. The monitor is nil when the
-// deployment carries no reference (a pre-v2 model file) — input drift
-// reporting is then disabled while prediction drift and quality still
-// run, since neither needs training-time state beyond the baseline.
+// and the delayed-label quality tracker. It lives on the modelState and
+// swaps atomically with the model — drift signals always describe
+// traffic as seen by one specific model version, never a blend across a
+// hot-swap. The monitor is nil when the model carries no reference (a
+// pre-v2 artifact) — input drift reporting is then disabled while
+// prediction drift and quality still run, since neither needs
+// training-time state beyond the baseline.
 type driftState struct {
 	monitor *drift.Monitor
 	scores  *drift.ScoreWindow
 	quality *drift.Quality
 
-	psiWarn   float64
-	clampWarn float64
-	logger    *slog.Logger
+	modelVersion uint64
+	psiWarn      float64
+	clampWarn    float64
+	logger       *slog.Logger
 
 	mu      sync.Mutex
 	alerted map[string]bool // per-signal warning latches (edge-triggered logs)
 }
 
-func newDriftState(dep *core.Deployment, cfg Config) *driftState {
+func newDriftState(ref *drift.Reference, modelVersion uint64, cfg Config) *driftState {
 	d := &driftState{
-		scores:    drift.NewScoreWindow(cfg.ScoreWindow),
-		psiWarn:   cfg.PSIWarn,
-		clampWarn: cfg.ClampWarn,
-		logger:    cfg.Logger,
-		alerted:   make(map[string]bool),
+		scores:       drift.NewScoreWindow(cfg.ScoreWindow),
+		modelVersion: modelVersion,
+		psiWarn:      cfg.PSIWarn,
+		clampWarn:    cfg.ClampWarn,
+		logger:       cfg.Logger,
+		alerted:      make(map[string]bool),
 	}
 	var base *drift.Baseline
-	if dep.Ref != nil {
-		d.monitor = drift.NewMonitor(dep.Ref)
-		base = &dep.Ref.Baseline
+	if ref != nil {
+		d.monitor = drift.NewMonitor(ref)
+		base = &ref.Baseline
 	}
 	d.quality = drift.NewQuality(base, drift.QualityConfig{
 		Capacity:  cfg.FeedbackCapacity,
@@ -60,9 +64,12 @@ func (d *driftState) observeRow(row []float64) {
 	}
 }
 
-// driftReport is the /debug/drift body.
+// driftReport is the /debug/drift body. Model identity is filled by the
+// handler; every signal below it belongs to that model version.
 type driftReport struct {
-	// InputDriftEnabled is false when the deployment predates the drift
+	Model        string `json:"model"`
+	ModelVersion uint64 `json:"model_version"`
+	// InputDriftEnabled is false when the model predates the drift
 	// reference (Ref nil): Features stays empty and no PSI is computed.
 	InputDriftEnabled bool                  `json:"input_drift_enabled"`
 	RowsObserved      uint64                `json:"rows_observed"`
@@ -71,6 +78,7 @@ type driftReport struct {
 	Features          []drift.FeatureDrift  `json:"features,omitempty"`
 	Prediction        drift.PredictionStats `json:"prediction"`
 	Quality           drift.QualityStats    `json:"quality"`
+	Shadow            *shadowDebug          `json:"shadow,omitempty"`
 }
 
 // report snapshots every drift signal and runs the warning evaluation:
@@ -79,10 +87,11 @@ type driftReport struct {
 // every scrape.
 func (d *driftState) report() driftReport {
 	rep := driftReport{
-		PSIWarn:    d.psiWarn,
-		ClampWarn:  d.clampWarn,
-		Prediction: d.scores.Snapshot(),
-		Quality:    d.quality.Snapshot(),
+		ModelVersion: d.modelVersion,
+		PSIWarn:      d.psiWarn,
+		ClampWarn:    d.clampWarn,
+		Prediction:   d.scores.Snapshot(),
+		Quality:      d.quality.Snapshot(),
 	}
 	if d.monitor != nil {
 		rep.InputDriftEnabled = true
@@ -104,19 +113,22 @@ func (d *driftState) evaluate(rep driftReport) {
 		}
 		d.edge("psi:"+f.Name, f.PSI >= d.psiWarn, func() {
 			d.logger.Warn("input drift detected",
-				"feature", f.Name, "psi", f.PSI, "threshold", d.psiWarn)
+				"feature", f.Name, "psi", f.PSI, "threshold", d.psiWarn,
+				"model_version", d.modelVersion)
 		})
 		d.edge("clamp:"+f.Name, f.ClampRatio >= d.clampWarn, func() {
 			d.logger.Warn("out-of-range clamping elevated",
 				"feature", f.Name, "clamp_ratio", f.ClampRatio, "threshold", d.clampWarn,
-				"below", f.Below, "above", f.Above)
+				"below", f.Below, "above", f.Above,
+				"model_version", d.modelVersion)
 		})
 	}
 	d.edge("canary", rep.Quality.Canary == drift.CanaryDegraded, func() {
 		d.logger.Warn("model quality degraded",
 			"rolling_accuracy", rep.Quality.RollingAccuracy,
 			"baseline_accuracy", rep.Quality.BaselineAccuracy,
-			"tolerance", rep.Quality.Tolerance)
+			"tolerance", rep.Quality.Tolerance,
+			"model_version", d.modelVersion)
 	})
 }
 
@@ -162,8 +174,10 @@ type feedbackResponse struct {
 
 // handleFeedback joins delayed ground-truth labels to remembered
 // predictions. Unknown IDs are reported, not rejected: labels routinely
-// arrive after the bounded join ring has rotated, and the caller should
-// see how many joined rather than get a hard failure.
+// arrive after the bounded join ring has rotated — or, under
+// hot-swapping, after the model that made the prediction was retired
+// (labels join the active model's quality tracker; a retired model's
+// request IDs report unknown).
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
@@ -197,9 +211,10 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	quality := s.activeState().drift.quality
 	resp := feedbackResponse{Results: make([]feedbackResult, len(items))}
 	for i, it := range items {
-		res := s.drift.quality.Feedback(it.RequestID, *it.Label)
+		res := quality.Feedback(it.RequestID, *it.Label)
 		resp.Results[i] = feedbackResult{RequestID: it.RequestID, Status: res.String()}
 		switch res {
 		case drift.Matched:
@@ -213,66 +228,98 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleDriftDebug serves the full drift report (and, as a side effect,
-// runs the threshold evaluation exactly like a metrics scrape does).
+// handleDriftDebug serves the active model's full drift report (and, as
+// a side effect, runs the threshold evaluation exactly like a metrics
+// scrape does), plus the shadow comparison when a shadow is installed.
 func (s *Server) handleDriftDebug(w http.ResponseWriter, r *http.Request) {
-	if !requireMethod(w, r, http.MethodGet) {
-		return
+	st := s.activeState()
+	rep := st.drift.report()
+	rep.Model = st.model.Info().Name
+	if sh := s.reg.Shadow(); sh != nil {
+		shst := sh.State().(*modelState)
+		rep.Shadow = &shadowDebug{
+			Model:          sh.Info().Name,
+			ModelVersion:   sh.Info().Version,
+			shadowSnapshot: shst.shadow.snapshot(),
+		}
 	}
-	w.Header().Set("Cache-Control", "no-store")
-	writeJSON(w, http.StatusOK, s.drift.report())
+	writeJSON(w, http.StatusOK, rep)
 }
 
 // promDrift emits the drift/quality metric families into a /metrics
-// scrape. Input-drift families appear only when the deployment carries a
-// reference; quality and prediction families always do.
+// scrape, every series labelled with the active model's version.
+// Input-drift families appear only when the model carries a reference;
+// quality and prediction families always do. When a shadow model is
+// installed, the hdfe_shadow_* canary families follow, labelled with
+// the shadow's version.
 func (s *Server) promDrift(p *obs.PromWriter) {
-	rep := s.drift.report()
+	st := s.activeState()
+	ver := versionLabel(st.model.Info().Version)
+	rep := st.drift.report()
 	if rep.InputDriftEnabled {
 		p.Header("hdfe_drift_rows_observed_total", "counter", "Rows folded into the input drift histograms.")
-		p.Value("hdfe_drift_rows_observed_total", float64(rep.RowsObserved))
+		p.Value("hdfe_drift_rows_observed_total", float64(rep.RowsObserved), "model_version", ver)
 		p.Header("hdfe_drift_psi", "gauge", "Per-feature population stability index vs the training reference.")
 		for _, f := range rep.Features {
-			p.Value("hdfe_drift_psi", f.PSI, "feature", f.Name)
+			p.Value("hdfe_drift_psi", f.PSI, "feature", f.Name, "model_version", ver)
 		}
 		p.Header("hdfe_drift_clamp_ratio", "gauge", "Fraction of observed values outside the fitted range (clamped by the level encoder).")
 		for _, f := range rep.Features {
-			p.Value("hdfe_drift_clamp_ratio", f.ClampRatio, "feature", f.Name)
+			p.Value("hdfe_drift_clamp_ratio", f.ClampRatio, "feature", f.Name, "model_version", ver)
 		}
 		p.Header("hdfe_drift_out_of_range_total", "counter", "Observed values outside the fitted range, by side.")
 		for _, f := range rep.Features {
-			p.Value("hdfe_drift_out_of_range_total", float64(f.Below), "feature", f.Name, "side", "below")
-			p.Value("hdfe_drift_out_of_range_total", float64(f.Above), "feature", f.Name, "side", "above")
+			p.Value("hdfe_drift_out_of_range_total", float64(f.Below), "feature", f.Name, "side", "below", "model_version", ver)
+			p.Value("hdfe_drift_out_of_range_total", float64(f.Above), "feature", f.Name, "side", "above", "model_version", ver)
 		}
 		p.Header("hdfe_drift_missing_total", "counter", "Missing (null) values observed per feature.")
 		for _, f := range rep.Features {
-			p.Value("hdfe_drift_missing_total", float64(f.Missing), "feature", f.Name)
+			p.Value("hdfe_drift_missing_total", float64(f.Missing), "feature", f.Name, "model_version", ver)
 		}
 	}
 
 	p.Header("hdfe_drift_prediction_positive_ratio", "gauge", "Fraction of windowed scores predicting the positive class.")
-	p.Value("hdfe_drift_prediction_positive_ratio", rep.Prediction.PositiveRatio)
+	p.Value("hdfe_drift_prediction_positive_ratio", rep.Prediction.PositiveRatio, "model_version", ver)
 	p.Header("hdfe_drift_score_margin_mean", "gauge", "Mean decision margin |score-0.5|*2 over the score window.")
-	p.Value("hdfe_drift_score_margin_mean", rep.Prediction.MeanMargin)
+	p.Value("hdfe_drift_score_margin_mean", rep.Prediction.MeanMargin, "model_version", ver)
 
 	q := rep.Quality
 	p.Header("hdfe_quality_labels_total", "counter", "Ground-truth labels joined to predictions.")
-	p.Value("hdfe_quality_labels_total", float64(q.Matched))
+	p.Value("hdfe_quality_labels_total", float64(q.Matched), "model_version", ver)
 	p.Header("hdfe_feedback_unmatched_total", "counter", "Feedback labels whose request ID matched no remembered prediction.")
-	p.Value("hdfe_feedback_unmatched_total", float64(q.Unknown))
+	p.Value("hdfe_feedback_unmatched_total", float64(q.Unknown), "model_version", ver)
 	p.Header("hdfe_quality_baseline_accuracy", "gauge", "Training-time LOOCV accuracy baseline (NaN if the model carries none).")
-	p.Value("hdfe_quality_baseline_accuracy", q.BaselineAccuracy)
+	p.Value("hdfe_quality_baseline_accuracy", q.BaselineAccuracy, "model_version", ver)
 	p.Header("hdfe_quality_accuracy", "gauge", "Cumulative labeled accuracy (NaN before the first label).")
-	p.Value("hdfe_quality_accuracy", q.Accuracy)
+	p.Value("hdfe_quality_accuracy", q.Accuracy, "model_version", ver)
 	p.Header("hdfe_quality_f1", "gauge", "Cumulative labeled F1 (NaN before the first positive).")
-	p.Value("hdfe_quality_f1", q.F1)
+	p.Value("hdfe_quality_f1", q.F1, "model_version", ver)
 	p.Header("hdfe_quality_canary_healthy", "gauge", "1 while the delayed-label canary is healthy or pending, 0 once degraded.")
 	healthy := 1.0
 	if q.Canary == drift.CanaryDegraded {
 		healthy = 0
 	}
-	p.Value("hdfe_quality_canary_healthy", healthy)
+	p.Value("hdfe_quality_canary_healthy", healthy, "model_version", ver)
+
+	if sh := s.reg.Shadow(); sh != nil {
+		shst := sh.State().(*modelState)
+		shVer := versionLabel(sh.Info().Version)
+		snap := shst.shadow.snapshot()
+		p.Header("hdfe_shadow_records_total", "counter", "Records re-scored by the shadow model.")
+		p.Value("hdfe_shadow_records_total", float64(snap.Records), "model_version", shVer)
+		p.Header("hdfe_shadow_disagreements_total", "counter", "Shadow predictions that flipped the active model's decision at 0.5.")
+		p.Value("hdfe_shadow_disagreements_total", float64(snap.Disagreements), "model_version", shVer)
+		p.Header("hdfe_shadow_disagreement_rate", "gauge", "Fraction of shadow-scored records whose prediction disagreed with the active model.")
+		p.Value("hdfe_shadow_disagreement_rate", snap.DisagreementRate, "model_version", shVer)
+		p.Header("hdfe_shadow_score_delta_mean_abs", "gauge", "Mean |active score - shadow score| over shadow-scored records.")
+		p.Value("hdfe_shadow_score_delta_mean_abs", snap.MeanAbsDelta, "model_version", shVer)
+		p.Header("hdfe_shadow_dropped_batches_total", "counter", "Batches dropped by the lossy shadow queue under overload.")
+		p.Value("hdfe_shadow_dropped_batches_total", float64(s.shadow.dropped.Load()))
+	}
 }
+
+// versionLabel renders a model version as its metric label value.
+func versionLabel(v uint64) string { return strconv.FormatUint(v, 10) }
 
 // requestID renders the trace ID as the response's request_id.
 func requestID(id uint64) string { return strconv.FormatUint(id, 10) }

@@ -219,52 +219,6 @@ func TestFeedbackValidation(t *testing.T) {
 	}
 }
 
-// TestReadOnlyEndpointMethods is the table-driven guard test: every
-// read-only endpoint answers GET with no-store caching and refuses
-// non-GET with 405 + Allow.
-func TestReadOnlyEndpointMethods(t *testing.T) {
-	_, ts, _ := driftServer(t, Config{})
-	for _, path := range []string{"/healthz", "/metrics", "/metrics.json", "/debug/traces", "/debug/drift"} {
-		resp, err := ts.Client().Get(ts.URL + path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			t.Errorf("GET %s: status %d", path, resp.StatusCode)
-		}
-		if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
-			t.Errorf("GET %s: Cache-Control %q, want no-store", path, cc)
-		}
-		for _, method := range []string{http.MethodPost, http.MethodDelete, http.MethodPut} {
-			req, err := http.NewRequest(method, ts.URL+path, nil)
-			if err != nil {
-				t.Fatal(err)
-			}
-			resp, err := ts.Client().Do(req)
-			if err != nil {
-				t.Fatal(err)
-			}
-			resp.Body.Close()
-			if resp.StatusCode != http.StatusMethodNotAllowed {
-				t.Errorf("%s %s: status %d, want 405", method, path, resp.StatusCode)
-			}
-			if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
-				t.Errorf("%s %s: Allow %q, want GET", method, path, allow)
-			}
-		}
-	}
-	// /v1/feedback is write-only: GET must 405 with Allow: POST.
-	resp, err := ts.Client().Get(ts.URL + "/v1/feedback")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != http.MethodPost {
-		t.Errorf("GET /v1/feedback: status %d Allow %q", resp.StatusCode, resp.Header.Get("Allow"))
-	}
-}
-
 // TestPromDriftSeries checks the drift families land in /metrics with
 // live values.
 func TestPromDriftSeries(t *testing.T) {
@@ -278,14 +232,14 @@ func TestPromDriftSeries(t *testing.T) {
 
 	body, _ := scrape(t, ts)
 	for _, want := range []string{
-		"hdfe_drift_rows_observed_total 32",
-		`hdfe_drift_psi{feature="Glucose"}`,
-		`hdfe_drift_clamp_ratio{feature="BMI"}`,
-		`hdfe_drift_out_of_range_total{feature="Age",side="above"} 0`,
-		"hdfe_quality_baseline_accuracy 0.",
-		"hdfe_quality_canary_healthy 1",
-		"hdfe_quality_labels_total 0",
-		"hdfe_quality_accuracy NaN",
+		`hdfe_drift_rows_observed_total{model_version="1"} 32`,
+		`hdfe_drift_psi{feature="Glucose",model_version="1"}`,
+		`hdfe_drift_clamp_ratio{feature="BMI",model_version="1"}`,
+		`hdfe_drift_out_of_range_total{feature="Age",side="above",model_version="1"} 0`,
+		`hdfe_quality_baseline_accuracy{model_version="1"} 0.`,
+		`hdfe_quality_canary_healthy{model_version="1"} 1`,
+		`hdfe_quality_labels_total{model_version="1"} 0`,
+		`hdfe_quality_accuracy{model_version="1"} NaN`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)

@@ -1,0 +1,17 @@
+package serve
+
+import "net/http"
+
+// readOnly is the shared middleware for every introspection endpoint:
+// it enforces the GET-only contract (405 with an Allow header
+// otherwise) and marks the response uncacheable, since every read-only
+// route reports live state that must not be served stale by a proxy.
+func readOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodGet) {
+			return
+		}
+		w.Header().Set("Cache-Control", "no-store")
+		h(w, r)
+	}
+}

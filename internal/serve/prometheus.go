@@ -17,20 +17,20 @@ var batchSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64}
 // counter the JSON snapshot carries, the per-stage pipeline histograms,
 // batcher gauges, Go runtime stats, and build info.
 func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
-	if !requireMethod(w, r, http.MethodGet) {
-		return
-	}
 	w.Header().Set("Content-Type", obs.PromContentType)
-	w.Header().Set("Cache-Control", "no-store")
 	p := obs.NewPromWriter(w)
 	m := s.metrics
 
-	p.Header("hdserve_build_info", "gauge", "Build and model identity (always 1).")
+	activeInfo := s.reg.Active().Info()
+	p.Header("hdserve_build_info", "gauge", "Build and active model identity (always 1).")
 	p.Value("hdserve_build_info", 1,
 		"go_version", runtime.Version(),
-		"model", s.cfg.ModelName)
+		"model", activeInfo.Name,
+		"model_version", versionLabel(activeInfo.Version))
 	p.Header("hdserve_uptime_seconds", "gauge", "Seconds since the metrics epoch.")
 	p.Value("hdserve_uptime_seconds", time.Since(m.start).Seconds())
+	p.Header("hdserve_model_swaps_total", "counter", "Active-model hot-swaps since boot (the boot promote does not count).")
+	p.Value("hdserve_model_swaps_total", float64(s.reg.Swaps()))
 
 	p.Header("hdserve_requests_total", "counter", "Scoring requests by route.")
 	p.Value("hdserve_requests_total", float64(m.scoreRequests.Load()), "route", "score")

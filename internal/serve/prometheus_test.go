@@ -47,6 +47,7 @@ var promFamilies = []string{
 	"hdserve_build_info gauge",
 	"hdserve_errors_total counter",
 	"hdserve_microbatched_records_total counter",
+	"hdserve_model_swaps_total counter",
 	"hdserve_records_scored_total counter",
 	"hdserve_request_duration_seconds histogram",
 	"hdserve_requests_total counter",

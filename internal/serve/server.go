@@ -13,13 +13,22 @@ import (
 
 	"hdfe/internal/core"
 	"hdfe/internal/obs"
+	"hdfe/internal/registry"
 )
 
 // Config tunes the scoring service. The zero value serves with the
 // defaults noted on each field.
 type Config struct {
-	// ModelName is reported by /healthz (default "deployment").
+	// ModelName is the boot model's name, reported by /healthz and
+	// /v1/models (default "deployment").
 	ModelName string
+	// ModelPath is the boot model's backing artifact, if it was loaded
+	// from a file. It enables SIGHUP/ReloadModel for the boot model and
+	// is reported by /v1/models.
+	ModelPath string
+	// ModelSHA256 is the hex digest of the boot model's artifact bytes
+	// (registry.ReadFile computes it).
+	ModelSHA256 string
 	// MaxBatch caps microbatch size (default 32).
 	MaxBatch int
 	// MaxWait is how long an open microbatch waits for more requests
@@ -60,6 +69,9 @@ type Config struct {
 	// deployment's LOOCV baseline before the canary degrades
 	// (default 0.05).
 	QualityTolerance float64
+	// ShadowQueue bounds the lossy queue feeding the shadow scoring
+	// worker, in batches (default 64).
+	ShadowQueue int
 	// Logger receives structured request logs (default: discard).
 	Logger *slog.Logger
 	// TraceBuffer sizes the /debug/traces rings: that many most-recent
@@ -97,6 +109,9 @@ func (c Config) withDefaults() Config {
 	if c.ClampWarn <= 0 {
 		c.ClampWarn = 0.01
 	}
+	if c.ShadowQueue <= 0 {
+		c.ShadowQueue = 64
+	}
 	if c.Logger == nil {
 		c.Logger = obs.NopLogger()
 	}
@@ -106,45 +121,52 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server wires a fitted deployment behind the HTTP scoring API described
-// in the package comment. Construct with New, mount via Handler (tests)
-// or run with Serve (production), and always Close to drain the batcher.
+// Server wires the model registry behind the HTTP scoring API described
+// in the package comment. The boot scorer becomes registry version 1;
+// further models arrive via POST /admin/models/load, SIGHUP (see
+// cmd/hdserve), or the Load*/Adopt* lifecycle methods. Construct with
+// New, mount via Handler (tests) or run with Serve (production), and
+// always Close to drain the batcher and the shadow worker.
 type Server struct {
-	dep     *core.Deployment
 	cfg     Config
-	val     *Validator
+	reg     *registry.Registry
 	batcher *Batcher
+	shadow  *shadowScorer
 	metrics *Metrics
 	tracer  *obs.Tracer
-	drift   *driftState
 	logger  *slog.Logger
 	mux     *http.ServeMux
 }
 
-// New builds a server over dep. The deployment must be fitted; its
-// codebook supplies the validation schema.
-func New(dep *core.Deployment, cfg Config) *Server {
+// New builds a server over the boot scorer (typically a
+// *core.Deployment). The scorer must be fitted; its codebook supplies
+// the validation schema.
+func New(sc core.Scorer, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := NewMetrics()
 	s := &Server{
-		dep:     dep,
 		cfg:     cfg,
-		val:     NewValidator(dep.Extractor.Codebook(), cfg.RejectMissing, cfg.RejectOutOfRange),
-		batcher: NewBatcher(dep, cfg.MaxBatch, cfg.MaxWait, m),
+		reg:     registry.New(),
 		metrics: m,
 		tracer:  obs.NewTracer(cfg.TraceBuffer),
-		drift:   newDriftState(dep, cfg),
 		logger:  cfg.Logger,
 		mux:     http.NewServeMux(),
 	}
+	// Adopt and promote the boot model before the batcher starts: the
+	// batch loop assumes the active slot is never empty.
+	s.reg.Promote(s.adopt(sc, cfg.ModelName, cfg.ModelPath, cfg.ModelSHA256))
+	s.shadow = newShadowScorer(s.reg, cfg.ShadowQueue)
+	s.batcher = newBatcher(s.reg, cfg.MaxBatch, cfg.MaxWait, m, s.shadow)
 	s.mux.HandleFunc("/v1/score", s.traced("score", s.handleScore))
 	s.mux.HandleFunc("/v1/score/batch", s.traced("score_batch", s.handleScoreBatch))
 	s.mux.HandleFunc("/v1/feedback", s.handleFeedback)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/metrics", s.handleMetricsProm)
-	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
-	s.mux.HandleFunc("/debug/traces", s.handleTraces)
-	s.mux.HandleFunc("/debug/drift", s.handleDriftDebug)
+	s.mux.HandleFunc("/v1/models", readOnly(s.handleModels))
+	s.mux.HandleFunc("/admin/models/load", s.handleLoadModel)
+	s.mux.HandleFunc("/healthz", readOnly(s.handleHealthz))
+	s.mux.HandleFunc("/metrics", readOnly(s.handleMetricsProm))
+	s.mux.HandleFunc("/metrics.json", readOnly(s.handleMetricsJSON))
+	s.mux.HandleFunc("/debug/traces", readOnly(s.handleTraces))
+	s.mux.HandleFunc("/debug/drift", readOnly(s.handleDriftDebug))
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -164,9 +186,13 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // Tracer exposes the server's pipeline tracer.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
-// Close drains and stops the microbatcher. Call after the HTTP listener
-// has stopped accepting requests (Serve does this in order).
-func (s *Server) Close() { s.batcher.Close() }
+// Close drains and stops the microbatcher, then the shadow worker. Call
+// after the HTTP listener has stopped accepting requests (Serve does
+// this in order).
+func (s *Server) Close() {
+	s.batcher.Close()
+	s.shadow.close()
+}
 
 // Serve runs the service on ln until ctx is cancelled, then shuts down
 // gracefully: the HTTP server drains in-flight handlers (bounded by
@@ -205,7 +231,8 @@ func (w *statusWriter) WriteHeader(code int) {
 
 // traced wraps a scoring handler in the pipeline tracer and the request
 // logger: every request gets a trace ID, a per-stage span record folded
-// into the stage histograms and trace rings, and one structured log line.
+// into the stage histograms and trace rings, and one structured log line
+// carrying the version of the model that scored it.
 func (s *Server) traced(route string, h func(http.ResponseWriter, *http.Request, *obs.ActiveTrace)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		at := s.tracer.Start(route)
@@ -225,6 +252,7 @@ func (s *Server) traced(route string, h func(http.ResponseWriter, *http.Request,
 			slog.Int("status", t.Status),
 			slog.Duration("latency", t.Total),
 			slog.Int("batch", t.Batch),
+			slog.Uint64("model_version", t.Model),
 		)
 	}
 }
@@ -237,11 +265,15 @@ type scoreRequest struct {
 
 // scoreResponse is the body of a successful POST /v1/score. RequestID
 // is the handle /v1/feedback joins a delayed ground-truth label with.
+// ModelVersion is the registry version of the model that scored the
+// record — under hot-swapping, the authoritative attribution for the
+// score.
 type scoreResponse struct {
-	RequestID  string   `json:"request_id"`
-	Score      float64  `json:"score"`
-	Prediction int      `json:"prediction"`
-	Warnings   []string `json:"warnings,omitempty"`
+	RequestID    string   `json:"request_id"`
+	Score        float64  `json:"score"`
+	Prediction   int      `json:"prediction"`
+	ModelVersion uint64   `json:"model_version"`
+	Warnings     []string `json:"warnings,omitempty"`
 }
 
 // batchScoreRequest is the body of POST /v1/score/batch.
@@ -258,10 +290,11 @@ type recordWarnings struct {
 // batchScoreResponse is the body of a successful POST /v1/score/batch.
 // RequestIDs carries one feedback handle per record, aligned with Scores.
 type batchScoreResponse struct {
-	RequestIDs  []string         `json:"request_ids"`
-	Scores      []float64        `json:"scores"`
-	Predictions []int            `json:"predictions"`
-	Warnings    []recordWarnings `json:"warnings,omitempty"`
+	RequestIDs   []string         `json:"request_ids"`
+	Scores       []float64        `json:"scores"`
+	Predictions  []int            `json:"predictions"`
+	ModelVersion uint64           `json:"model_version"`
+	Warnings     []recordWarnings `json:"warnings,omitempty"`
 }
 
 // errorResponse is every non-2xx body.
@@ -307,7 +340,11 @@ func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 	return true
 }
 
-// handleScore scores one record through the microbatcher.
+// handleScore scores one record through the microbatcher. Validation
+// uses the currently active model's schema; scoring uses whatever model
+// is active when the batch forms (the schemas are identical — checkSchema
+// gates every load). All drift/quality attribution goes to the model
+// that actually scored the record.
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request, at *obs.ActiveTrace) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
@@ -318,7 +355,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request, at *obs.Act
 	if !s.decode(w, r, &req) {
 		return
 	}
-	row, warnings, err := s.val.Validate(req.Features, nil)
+	row, warnings, err := s.activeState().val.Validate(req.Features, nil)
 	at.Step(obs.StageValidate)
 	if err != nil {
 		var verr *ValidationError
@@ -329,10 +366,9 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request, at *obs.Act
 		}
 		return
 	}
-	s.drift.observeRow(row)
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	score, bt, err := s.batcher.SubmitTimed(ctx, row)
+	score, bt, st, err := s.batcher.submitTimed(ctx, row)
 	switch {
 	case errors.Is(err, ErrClosed):
 		s.metrics.errors.Add(1)
@@ -353,22 +389,27 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request, at *obs.Act
 	at.Add(obs.StageEncode, bt.Encode)
 	at.Add(obs.StageScore, bt.Distance)
 	at.SetBatch(bt.Size)
+	at.SetModel(st.version())
 	at.Mark()
 	s.metrics.recordsScored.Add(1)
-	resp := scoreResponse{RequestID: requestID(at.ID()), Score: score, Warnings: warnings}
+	resp := scoreResponse{RequestID: requestID(at.ID()), Score: score, ModelVersion: st.version(), Warnings: warnings}
 	if score >= 0.5 {
 		resp.Prediction = 1
 	}
-	s.drift.scores.Observe(score)
-	s.drift.quality.Record(resp.RequestID, resp.Prediction)
+	st.drift.observeRow(row)
+	st.drift.scores.Observe(score)
+	st.drift.quality.Record(resp.RequestID, resp.Prediction)
 	writeJSON(w, http.StatusOK, resp)
 	at.Step(obs.StageRespond)
 	s.metrics.ObserveLatency(time.Since(start))
 }
 
 // handleScoreBatch scores an already-batched request directly through
-// Deployment.ScoreBatch — it is the client-side batching fast path and
-// does not pass through the microbatcher.
+// the active scorer — it is the client-side batching fast path and does
+// not pass through the microbatcher. The model is acquired once for the
+// whole request: validation, scoring, and attribution all see the same
+// version, and a concurrent promote retires the old model only after
+// this batch finishes.
 func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request, at *obs.ActiveTrace) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
@@ -388,10 +429,13 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request, at *ob
 			fmt.Sprintf("%d records exceeds the %d-record batch limit", len(req.Records), s.cfg.MaxBatchRecords), nil, 0)
 		return
 	}
+	st := s.acquireActive()
+	defer st.release()
+	at.SetModel(st.version())
 	rows := make([][]float64, len(req.Records))
 	var allWarnings []recordWarnings
 	for i, rec := range req.Records {
-		row, warnings, err := s.val.Validate(rec, nil)
+		row, warnings, err := st.val.Validate(rec, nil)
 		if err != nil {
 			var verr *ValidationError
 			if errors.As(err, &verr) {
@@ -407,11 +451,12 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request, at *ob
 		}
 	}
 	for _, row := range rows {
-		s.drift.observeRow(row)
+		st.drift.observeRow(row)
 	}
 	at.Step(obs.StageValidate)
 	var acc obs.StageAccum
-	scores := s.dep.ScoreBatchIntoObserved(rows, nil, &acc)
+	scores := st.scorer.ScoreBatchIntoObserved(rows, nil, &acc)
+	s.shadow.submit(rows, scores)
 	encTotal, distTotal, _ := acc.Totals()
 	at.Add(obs.StageEncode, encTotal)
 	at.Add(obs.StageScore, distTotal)
@@ -424,52 +469,46 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request, at *ob
 			preds[i] = 1
 		}
 		ids[i] = batchRequestID(at.ID(), i)
-		s.drift.scores.Observe(sc)
-		s.drift.quality.Record(ids[i], preds[i])
+		st.drift.scores.Observe(sc)
+		st.drift.quality.Record(ids[i], preds[i])
 	}
 	s.metrics.recordsScored.Add(uint64(len(scores)))
-	writeJSON(w, http.StatusOK, batchScoreResponse{RequestIDs: ids, Scores: scores, Predictions: preds, Warnings: allWarnings})
+	writeJSON(w, http.StatusOK, batchScoreResponse{
+		RequestIDs: ids, Scores: scores, Predictions: preds,
+		ModelVersion: st.version(), Warnings: allWarnings,
+	})
 	at.Step(obs.StageRespond)
 	s.metrics.ObserveLatency(time.Since(start))
 }
 
-// handleHealthz reports liveness, the fitted model's identity, and the
+// handleHealthz reports liveness, the active model's identity, and the
 // batcher state. While draining it answers 503 so load balancers pull
 // the instance before the listener disappears.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if !requireMethod(w, r, http.MethodGet) {
-		return
-	}
-	w.Header().Set("Cache-Control", "no-store")
+	st := s.activeState()
+	info := st.model.Info()
 	status, state, code := "ok", "accepting", http.StatusOK
 	if s.batcher.Draining() {
 		status, state, code = "draining", "draining", http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, map[string]any{
-		"status":   status,
-		"batcher":  state,
-		"model":    s.cfg.ModelName,
-		"dim":      s.dep.Extractor.Dim(),
-		"features": s.val.FeatureNames(),
+		"status":        status,
+		"batcher":       state,
+		"model":         info.Name,
+		"model_version": info.Version,
+		"dim":           info.Dim,
+		"features":      st.val.FeatureNames(),
 	})
 }
 
 // handleMetricsJSON serves the legacy expvar-style counter snapshot.
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
-	if !requireMethod(w, r, http.MethodGet) {
-		return
-	}
-	w.Header().Set("Cache-Control", "no-store")
 	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
 }
 
 // handleTraces serves the tracer's rings: the most recent and the
 // slowest requests, each with a per-stage breakdown in microseconds.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
-	if !requireMethod(w, r, http.MethodGet) {
-		return
-	}
-	w.Header().Set("Cache-Control", "no-store")
 	recent, slowest := s.tracer.TraceViews()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"recent":  recent,

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"hdfe/internal/registry"
+)
+
+// shadowStats accumulates the canary comparison for one shadow model:
+// how often it disagrees with the active model's prediction and how far
+// its scores sit from the active scores. It lives on the shadow's
+// modelState, so loading a new shadow starts the comparison fresh.
+type shadowStats struct {
+	records       atomic.Uint64
+	disagreements atomic.Uint64
+	// deltaNanos sums |activeScore - shadowScore| in 1e-9 fixed point
+	// (scores live in [0, 1], so the sum overflows only after ~1.8e10
+	// records).
+	deltaNanos atomic.Uint64
+}
+
+// observe folds one record's active/shadow score pair in. Disagreement
+// is a prediction flip at the 0.5 decision threshold.
+func (st *shadowStats) observe(active, shadow float64) {
+	st.records.Add(1)
+	if (active >= 0.5) != (shadow >= 0.5) {
+		st.disagreements.Add(1)
+	}
+	st.deltaNanos.Add(uint64(math.Round(math.Abs(active-shadow) * 1e9)))
+}
+
+// shadowSnapshot is a point-in-time copy of the comparison, the shape
+// /metrics and /debug/drift report.
+type shadowSnapshot struct {
+	Records          uint64  `json:"records"`
+	Disagreements    uint64  `json:"disagreements"`
+	DisagreementRate float64 `json:"disagreement_rate"`
+	MeanAbsDelta     float64 `json:"mean_abs_score_delta"`
+}
+
+func (st *shadowStats) snapshot() shadowSnapshot {
+	s := shadowSnapshot{
+		Records:       st.records.Load(),
+		Disagreements: st.disagreements.Load(),
+	}
+	if s.Records > 0 {
+		s.DisagreementRate = float64(s.Disagreements) / float64(s.Records)
+		s.MeanAbsDelta = float64(st.deltaNanos.Load()) / 1e9 / float64(s.Records)
+	}
+	return s
+}
+
+// shadowDebug is the shadow block inside /debug/drift.
+type shadowDebug struct {
+	Model        string `json:"model"`
+	ModelVersion uint64 `json:"model_version"`
+	shadowSnapshot
+}
+
+// shadowBatch is one scored batch queued for shadow comparison: a deep
+// copy of the validated rows plus the active model's scores for them.
+type shadowBatch struct {
+	rows   [][]float64
+	active []float64
+}
+
+// shadowScorer re-scores validated batches against the shadow model off
+// the hot path: scoring paths submit a copy of each batch and move on,
+// and a single worker goroutine drains the queue. The queue is bounded
+// and lossy — under overload, shadow comparison drops batches (counted
+// in dropped) rather than applying backpressure to live traffic.
+type shadowScorer struct {
+	reg     *registry.Registry
+	dropped atomic.Uint64
+
+	mu     sync.RWMutex // guards closed vs. submit, so close(queue) is safe
+	closed bool
+	queue  chan shadowBatch
+	done   chan struct{}
+}
+
+// newShadowScorer starts the shadow worker. queueLen <= 0 defaults
+// to 64.
+func newShadowScorer(reg *registry.Registry, queueLen int) *shadowScorer {
+	if queueLen <= 0 {
+		queueLen = 64
+	}
+	sh := &shadowScorer{
+		reg:   reg,
+		queue: make(chan shadowBatch, queueLen),
+		done:  make(chan struct{}),
+	}
+	go sh.loop()
+	return sh
+}
+
+// submit offers one scored batch for shadow comparison. It deep-copies
+// rows and scores before returning, so callers may recycle their
+// buffers immediately; when no shadow is configured it is a cheap
+// atomic load and an early return.
+func (sh *shadowScorer) submit(rows [][]float64, active []float64) {
+	if sh.reg.Shadow() == nil {
+		return
+	}
+	cp := shadowBatch{
+		rows:   make([][]float64, len(rows)),
+		active: append([]float64(nil), active...),
+	}
+	for i, row := range rows {
+		cp.rows[i] = append([]float64(nil), row...)
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.closed {
+		return
+	}
+	select {
+	case sh.queue <- cp:
+	default:
+		sh.dropped.Add(1)
+	}
+}
+
+// loop is the shadow worker: it acquires whatever shadow model is
+// published per batch, scores the copied rows, and folds the comparison
+// into that model's stats and score window. The shadow deliberately
+// does not feed input-drift histograms — it sees the exact rows the
+// active model already observed.
+func (sh *shadowScorer) loop() {
+	defer close(sh.done)
+	var dst []float64
+	for b := range sh.queue {
+		m := sh.reg.AcquireShadow()
+		if m == nil {
+			continue // shadow unset between submit and here; drop quietly
+		}
+		st := m.State().(*modelState)
+		dst = st.scorer.ScoreBatchInto(b.rows, dst)
+		for i, sc := range dst {
+			st.shadow.observe(b.active[i], sc)
+			st.drift.scores.Observe(sc)
+		}
+		m.Release()
+	}
+}
+
+// close stops the worker after it drains the queue. Safe to call more
+// than once.
+func (sh *shadowScorer) close() {
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		<-sh.done
+		return
+	}
+	sh.closed = true
+	sh.mu.Unlock()
+	close(sh.queue)
+	<-sh.done
+}

@@ -1,9 +1,10 @@
 #!/bin/sh
-# obs_smoke.sh boots hdserve against the demo model and asserts the
-# observability surface end to end: a JSON "serving" log line with the
-# bound address, a successful /v1/score round trip, and a /metrics
-# exposition carrying every metric family dashboards key on. Run via
-# `make obs-smoke`.
+# obs_smoke.sh boots hdserve against a model artifact and asserts the
+# observability and model-lifecycle surfaces end to end: a JSON
+# "serving" log line with the bound address, a successful /v1/score
+# round trip, a /metrics exposition carrying every metric family
+# dashboards key on, shadow-model comparison via /admin/models/load,
+# and a zero-downtime SIGHUP hot reload. Run via `make obs-smoke`.
 set -eu
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -13,7 +14,11 @@ trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
 cd "$ROOT"
 go build -o "$TMP/hdserve" ./cmd/hdserve
 
-"$TMP/hdserve" -demo -dim 256 -addr 127.0.0.1:0 -log-format json \
+# Two artifacts over the same schema: model_a serves, model_b shadows.
+"$TMP/hdserve" -write-demo "$TMP/model_a.bin" -dim 256 -seed 42 >/dev/null
+"$TMP/hdserve" -write-demo "$TMP/model_b.bin" -dim 256 -seed 43 >/dev/null
+
+"$TMP/hdserve" -model "$TMP/model_a.bin" -name smoke -addr 127.0.0.1:0 -log-format json \
     >"$TMP/stdout.log" 2>"$TMP/stderr.log" &
 SERVER_PID=$!
 
@@ -80,9 +85,10 @@ for stage in validate batch_wait encode score respond; do
 done
 
 # An hdfe_drift_ series must be present with a live value (the scored
-# request above has been folded into the input histograms).
-if ! grep -q '^hdfe_drift_rows_observed_total 1' "$TMP/metrics.txt"; then
-    echo "obs-smoke: hdfe_drift_rows_observed_total did not count the scored request" >&2
+# request above has been folded into the input histograms), attributed
+# to the boot model via the model_version label.
+if ! grep -q '^hdfe_drift_rows_observed_total{model_version="1"} 1' "$TMP/metrics.txt"; then
+    echo "obs-smoke: hdfe_drift_rows_observed_total did not count the scored request for model 1" >&2
     grep '^hdfe_drift_' "$TMP/metrics.txt" >&2 || true
     exit 1
 fi
@@ -122,6 +128,115 @@ case "$FEEDBACK" in
     exit 1
     ;;
 esac
+
+# --- Model lifecycle -------------------------------------------------
+
+# The registry reports the boot model as version 1 with no swaps yet.
+MODELS=$(curl -sSf "http://$ADDR/v1/models")
+for field in '"version":1' '"name":"smoke"' '"swaps":0' '"sha256"'; do
+    case "$MODELS" in
+    *"$field"*) ;;
+    *)
+        echo "obs-smoke: /v1/models missing $field: $MODELS" >&2
+        exit 1
+        ;;
+    esac
+done
+echo "obs-smoke: /v1/models OK"
+
+# Install model_b as the shadow: it re-scores the same batches off the
+# hot path and exports the canary comparison.
+LOAD=$(curl -sSf -X POST "http://$ADDR/admin/models/load" \
+    -H 'Content-Type: application/json' \
+    -d "{\"path\":\"$TMP/model_b.bin\",\"name\":\"cand\",\"shadow\":true}")
+case "$LOAD" in
+*'"role":"shadow"'*) echo "obs-smoke: shadow installed ($LOAD)" ;;
+*)
+    echo "obs-smoke: shadow load failed: $LOAD" >&2
+    exit 1
+    ;;
+esac
+
+curl -sSf -X POST "http://$ADDR/v1/score" \
+    -H 'Content-Type: application/json' \
+    -d '{"features":[2,120,70,25,100,30.5,0.4,40]}' >/dev/null
+
+# The shadow worker is asynchronous: poll until the comparison lands.
+SHADOW_OK=""
+for _ in $(seq 1 100); do
+    curl -sSf "http://$ADDR/metrics" >"$TMP/metrics.txt"
+    if grep -q '^hdfe_shadow_records_total{model_version="2"} [1-9]' "$TMP/metrics.txt"; then
+        SHADOW_OK=1
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$SHADOW_OK" ]; then
+    echo "obs-smoke: shadow never scored the live batch" >&2
+    grep '^hdfe_shadow_' "$TMP/metrics.txt" >&2 || true
+    exit 1
+fi
+for name in \
+    'hdfe_shadow_disagreements_total{model_version="2"}' \
+    'hdfe_shadow_disagreement_rate{model_version="2"}' \
+    'hdfe_shadow_score_delta_mean_abs{model_version="2"}' \
+    hdfe_shadow_dropped_batches_total; do
+    if ! grep -q "^$name" "$TMP/metrics.txt"; then
+        echo "obs-smoke: /metrics missing $name" >&2
+        grep '^hdfe_shadow_' "$TMP/metrics.txt" >&2 || true
+        exit 1
+    fi
+done
+echo "obs-smoke: shadow comparison OK"
+
+# SIGHUP re-reads -model and hot-swaps it in as version 3, with zero
+# downtime for in-flight traffic.
+kill -HUP "$SERVER_PID"
+RELOAD_OK=""
+for _ in $(seq 1 100); do
+    MODELS=$(curl -sSf "http://$ADDR/v1/models")
+    case "$MODELS" in
+    *'"swaps":1'*)
+        RELOAD_OK=1
+        break
+        ;;
+    esac
+    sleep 0.1
+done
+if [ -z "$RELOAD_OK" ]; then
+    echo "obs-smoke: SIGHUP reload never landed: $MODELS" >&2
+    cat "$TMP/stdout.log" >&2
+    exit 1
+fi
+case "$MODELS" in
+*'"version":3'*) ;;
+*)
+    echo "obs-smoke: reloaded registry has no version 3: $MODELS" >&2
+    exit 1
+    ;;
+esac
+
+# Traffic scored after the swap is attributed to the new version.
+RESCORE=$(curl -sSf -X POST "http://$ADDR/v1/score" \
+    -H 'Content-Type: application/json' \
+    -d '{"features":[2,120,70,25,100,30.5,0.4,40]}')
+case "$RESCORE" in
+*'"model_version":3'*) ;;
+*)
+    echo "obs-smoke: post-reload score not attributed to version 3: $RESCORE" >&2
+    exit 1
+    ;;
+esac
+curl -sSf "http://$ADDR/metrics" >"$TMP/metrics.txt"
+if ! grep -q '^hdserve_model_swaps_total 1' "$TMP/metrics.txt"; then
+    echo "obs-smoke: hdserve_model_swaps_total did not count the reload" >&2
+    exit 1
+fi
+if ! grep -q 'model_version="3"' "$TMP/metrics.txt"; then
+    echo "obs-smoke: no model_version=\"3\" labels after reload" >&2
+    exit 1
+fi
+echo "obs-smoke: SIGHUP hot reload OK"
 
 kill "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true
