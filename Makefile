@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all fmt vet test test-race fuzz-smoke bench obs-smoke
+.PHONY: all fmt vet test test-race fuzz-smoke bench obs-smoke cover cover-baseline
 
 all: fmt vet test
 
@@ -37,3 +37,12 @@ bench:
 
 obs-smoke:
 	sh scripts/obs_smoke.sh
+
+# Per-package coverage gate: fails only when a package drops more than
+# 2 points below scripts/coverage_baseline.txt. Refresh the baseline
+# with `make cover-baseline` when a drop (or a rise) is intentional.
+cover:
+	sh scripts/coverage_gate.sh
+
+cover-baseline:
+	sh scripts/coverage_gate.sh -update

@@ -5,6 +5,8 @@
 //
 //	hdserve -model dep.bin [-shadow cand.bin] [-addr :8080] [-name pima]
 //	        [-max-batch 32] [-max-wait 2ms] [-timeout 5s] [-reject-missing]
+//	        [-max-inflight 1024] [-queue-depth 0] [-retry-after 1s]
+//	        [-chaos-spec ""] [-chaos-seed 1]
 //	        [-reject-out-of-range] [-psi-warn 0.25] [-clamp-warn 0.01]
 //	        [-score-window 4096] [-feedback-cap 4096]
 //	        [-quality-window 1024] [-quality-tol 0.05]
@@ -33,6 +35,15 @@
 // snapshot, /debug/traces the recent and slowest per-stage request
 // traces, and -pprof mounts net/http/pprof under /debug/pprof/.
 //
+// Overload protection: -max-inflight bounds admitted records; excess
+// load is shed with 429 + Retry-After before any encode work is spent
+// (hdfe_shed_total counts rejections by reason). Clients can tighten the
+// per-request budget with an X-Request-Deadline-Ms header; records past
+// their deadline are abandoned in the batcher queue, never scored.
+// -chaos-spec enables the deterministic fault-injection seam
+// (internal/chaos) for soak and failure-drill testing — latency spikes,
+// stage stalls, artifact-load failures, shadow-queue pressure.
+//
 // Model observability: the server monitors input drift (per-feature PSI
 // against the training reference stored in the deployment), prediction
 // drift (rolling score window), and delayed-label quality (POST
@@ -54,6 +65,7 @@ import (
 	"syscall"
 	"time"
 
+	"hdfe/internal/chaos"
 	"hdfe/internal/core"
 	"hdfe/internal/obs"
 	"hdfe/internal/registry"
@@ -84,6 +96,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		addr          = fs.String("addr", ":8080", "listen address")
 		maxBatch      = fs.Int("max-batch", 32, "microbatch size cap")
 		maxWait       = fs.Duration("max-wait", 2*time.Millisecond, "microbatch wait before scoring a partial batch")
+		maxInFlight   = fs.Int("max-inflight", 1024, "admitted-record budget; excess load is shed with 429 (negative disables)")
+		queueDepth    = fs.Int("queue-depth", 0, "batcher queue capacity (0 = max(4*max-batch, max-inflight))")
+		retryAfter    = fs.Duration("retry-after", time.Second, "Retry-After hint on 429/503 shed responses")
+		chaosSpec     = fs.String("chaos-spec", "", "fault-injection spec, e.g. \"batch:p=0.1,delay=5ms;load:err=disk gone\" (empty = chaos disabled)")
+		chaosSeed     = fs.Uint64("chaos-seed", 1, "seed for the deterministic chaos injector")
 		timeout       = fs.Duration("timeout", 5*time.Second, "per-request timeout")
 		rejectMissing = fs.Bool("reject-missing", false, "reject null feature values instead of encoding them as missing")
 		rejectRange   = fs.Bool("reject-out-of-range", false, "reject values outside the fitted range instead of clamp-and-warn")
@@ -101,6 +118,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		dim           = fs.Int("dim", 0, "demo hypervector dimensionality (0 = 10000)")
 		seed          = fs.Uint64("seed", 42, "demo synthesis + encoder seed")
 	)
+	// -request-timeout is an alias for -timeout (the docs use both names;
+	// the last one parsed wins).
+	fs.DurationVar(timeout, "request-timeout", *timeout, "per-request timeout (alias for -timeout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -110,6 +130,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	logger, err := obs.NewLogger(stdout, *logFormat, *logLevel)
 	if err != nil {
 		return err
+	}
+	injector, err := chaos.Parse(*chaosSpec, *chaosSeed)
+	if err != nil {
+		return err
+	}
+	if injector != nil {
+		logger.Warn("chaos injection enabled", "spec", injector.String(), "seed", *chaosSeed)
 	}
 
 	if *writeDemo != "" {
@@ -158,6 +185,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		ModelSHA256:      sha,
 		MaxBatch:         *maxBatch,
 		MaxWait:          *maxWait,
+		MaxInFlight:      *maxInFlight,
+		QueueDepth:       *queueDepth,
+		RetryAfter:       *retryAfter,
+		Chaos:            injector,
 		RequestTimeout:   *timeout,
 		RejectMissing:    *rejectMissing,
 		RejectOutOfRange: *rejectRange,

@@ -6,12 +6,19 @@ import (
 	"sync"
 	"time"
 
+	"hdfe/internal/chaos"
 	"hdfe/internal/obs"
 	"hdfe/internal/registry"
 )
 
 // ErrClosed is returned by Submit once the batcher has begun shutting down.
 var ErrClosed = errors.New("serve: batcher closed")
+
+// ErrQueueFull is returned by Submit when the batcher queue cannot take
+// another request. With the admission gate sized at or below the queue
+// depth this cannot happen; it is the backstop that keeps Submit
+// non-blocking if the gate is configured larger than the queue.
+var ErrQueueFull = errors.New("serve: batcher queue full")
 
 // BatchTimings is the per-request cost breakdown the batch loop reports
 // back to each submitter: how long the record waited for its batch to
@@ -28,8 +35,11 @@ type BatchTimings struct {
 // the batch loop never blocks on a caller that gave up (context expiry).
 // The loop writes timings and the scoring model's state before sending on
 // resp, so a submitter that received its score may read them race-free; a
-// submitter that timed out never looks.
+// submitter that timed out never looks. ctx is the submitter's deadline:
+// the loop consults it after a batch forms and abandons records already
+// past their budget before any encode/score work is spent on them.
 type request struct {
+	ctx     context.Context
 	row     []float64
 	enq     time.Time
 	timings BatchTimings
@@ -52,7 +62,8 @@ type Batcher struct {
 	maxBatch int
 	maxWait  time.Duration
 	metrics  *Metrics
-	acc      obs.StageAccum // reused per batch; loop-goroutine owned between resets
+	chaos    *chaos.Injector // nil in production: one branch per batch
+	acc      obs.StageAccum  // reused per batch; loop-goroutine owned between resets
 
 	mu     sync.RWMutex // guards closed vs. enqueue, so close(reqs) is safe
 	closed bool
@@ -63,13 +74,17 @@ type Batcher struct {
 // newBatcher starts a batcher over the registry's active slot, which
 // must already be populated. maxBatch <= 0 defaults to 32; maxWait < 0
 // defaults to 2ms (0 is honoured: score whatever is immediately
-// queued). metrics and shadow may be nil.
-func newBatcher(reg *registry.Registry, maxBatch int, maxWait time.Duration, metrics *Metrics, shadow *shadowScorer) *Batcher {
+// queued); queueDepth <= 0 defaults to 4*maxBatch. metrics, shadow, and
+// inj may be nil.
+func newBatcher(reg *registry.Registry, maxBatch int, maxWait time.Duration, queueDepth int, metrics *Metrics, shadow *shadowScorer, inj *chaos.Injector) *Batcher {
 	if maxBatch <= 0 {
 		maxBatch = 32
 	}
 	if maxWait < 0 {
 		maxWait = 2 * time.Millisecond
+	}
+	if queueDepth <= 0 {
+		queueDepth = 4 * maxBatch
 	}
 	b := &Batcher{
 		reg:      reg,
@@ -77,7 +92,8 @@ func newBatcher(reg *registry.Registry, maxBatch int, maxWait time.Duration, met
 		maxBatch: maxBatch,
 		maxWait:  maxWait,
 		metrics:  metrics,
-		reqs:     make(chan *request, 4*maxBatch),
+		chaos:    inj,
+		reqs:     make(chan *request, queueDepth),
 		done:     make(chan struct{}),
 	}
 	go b.loop()
@@ -110,22 +126,26 @@ func (b *Batcher) Submit(ctx context.Context, row []float64) (float64, error) {
 // error). The returned state is for attribution — drift observation,
 // labels, trace tagging — and carries no scoring reference.
 func (b *Batcher) submitTimed(ctx context.Context, row []float64) (float64, BatchTimings, *modelState, error) {
-	req := &request{row: row, enq: time.Now(), resp: make(chan float64, 1)}
+	req := &request{ctx: ctx, row: row, enq: time.Now(), resp: make(chan float64, 1)}
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
 		return 0, BatchTimings{}, nil, ErrClosed
 	}
 	// Enqueue under the read lock: Close takes the write lock before
-	// closing reqs, so no send can race the close. The channel drains
-	// continuously (the loop never stops receiving for long), so holding
-	// the lock across a momentarily full queue only delays Close.
+	// closing reqs, so no send can race the close. The enqueue does not
+	// block on a full queue — admission happened upstream, so a full
+	// queue means the gate was configured larger than the queue depth,
+	// and the overflow is shed rather than parked.
 	select {
 	case b.reqs <- req:
 		b.mu.RUnlock()
 	case <-ctx.Done():
 		b.mu.RUnlock()
 		return 0, BatchTimings{}, nil, ctx.Err()
+	default:
+		b.mu.RUnlock()
+		return 0, BatchTimings{}, nil, ErrQueueFull
 	}
 	select {
 	case score := <-req.resp:
@@ -191,9 +211,31 @@ func (b *Batcher) loop() {
 			default:
 			}
 		}
+		// Fault seam: a configured stall lands here, after the batch forms
+		// and before the deadline check below — so requests whose budget a
+		// stalled stage consumed are shed without encode/score work, which
+		// is exactly what the chaos regression suite asserts.
+		_ = b.chaos.Inject(chaos.PointBatch)
+		// Deadline shed: drop records already past their budget. Their
+		// submitters have returned (or are returning) via ctx.Done(); the
+		// buffered resp channel means nobody needs an answer, and the
+		// encode/score cost is saved entirely.
 		rows = rows[:0]
+		alive := 0
 		for _, r := range batch {
+			if r.ctx != nil && r.ctx.Err() != nil {
+				if b.metrics != nil {
+					b.metrics.Shed(ShedDeadline)
+				}
+				continue
+			}
+			batch[alive] = r
+			alive++
 			rows = append(rows, r.row)
+		}
+		batch = batch[:alive]
+		if len(batch) == 0 {
+			continue
 		}
 		formed := time.Now()
 		// Acquire the active model once for the whole batch: every record

@@ -12,14 +12,17 @@ import (
 )
 
 // testBatcher builds a batcher over a single-model registry, the shape
-// every pre-lifecycle test used.
+// every pre-lifecycle test used. The queue is sized for the suite's
+// highest submit concurrency: in production the admission gate keeps
+// concurrent submits at or below the queue depth, and these tests
+// bypass the gate.
 func testBatcher(t *testing.T, dep *core.Deployment, maxBatch int, maxWait time.Duration, m *Metrics) *Batcher {
 	t.Helper()
 	reg := registry.New()
 	model := reg.Adopt(dep, "batcher-test", "", "")
 	newModelState(model, Config{}.withDefaults())
 	reg.Promote(model)
-	return newBatcher(reg, maxBatch, maxWait, m, nil)
+	return newBatcher(reg, maxBatch, maxWait, 128, m, nil, nil)
 }
 
 func TestBatcherScoresMatchDirect(t *testing.T) {

@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"hdfe/internal/chaos"
+	"hdfe/internal/core"
+	"hdfe/internal/synth"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+// TestChaosStalledStageShedsDeadlines pins the deadline-propagation
+// contract under a stalled scoring stage: with a 100ms injected stall at
+// the batch point and 25ms request budgets, every caller gets 504, every
+// record is shed at the deadline check before encode/score work, and
+// nothing is ever scored.
+func TestChaosStalledStageShedsDeadlines(t *testing.T) {
+	const clients = 4
+	dep := testDeployment(t, 128)
+	inj := chaos.New(1, chaos.Fault{Point: chaos.PointBatch, P: 1, Delay: 100 * time.Millisecond})
+	s := New(dep, Config{
+		MaxBatch:       8,
+		MaxWait:        time.Millisecond,
+		RequestTimeout: 25 * time.Millisecond,
+		Chaos:          inj,
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	d := synth.PimaM(7)
+	var wg sync.WaitGroup
+	statuses := make(chan int, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := postJSON(t, ts.Client(), ts.URL+"/v1/score", scoreRequest{Features: floats(d.X[i]...)})
+			statuses <- resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	close(statuses)
+	for code := range statuses {
+		if code != http.StatusGatewayTimeout {
+			t.Errorf("status %d under a stalled stage, want 504", code)
+		}
+	}
+
+	// The 504s return when each client budget expires — before the batch
+	// loop wakes from the stall and sheds the expired records. Wait for
+	// the shed accounting to land.
+	m := s.Metrics()
+	waitFor(t, 2*time.Second,
+		func() bool { return m.ShedCount(ShedDeadline) >= clients },
+		"deadline shed count never reached the number of timed-out requests")
+	if scored := m.Snapshot().RecordsScored; scored != 0 {
+		t.Errorf("%d records scored despite every deadline expiring in the stall", scored)
+	}
+	if inj.Fired(chaos.PointBatch) == 0 {
+		t.Error("batch fault never fired")
+	}
+	if got := m.Snapshot().ShedDeadline; got < clients {
+		t.Errorf("snapshot shed_deadline = %d, want >= %d", got, clients)
+	}
+}
+
+// TestChaosLoadFailureKeepsServing pins the reload failure mode: an
+// injected artifact-read failure mid-swap must leave the old model
+// serving, bit-identical, with no registry churn.
+func TestChaosLoadFailureKeepsServing(t *testing.T) {
+	d := synth.PimaM(7)
+	dep, err := core.BuildDeployment(core.SpecsFor(d.Features), d.X, d.Y, core.Options{Dim: 128, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := dep.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	inj := chaos.New(1, chaos.Fault{Point: chaos.PointLoad, P: 1, Err: "disk read failed"})
+	s := New(dep, Config{
+		ModelName: "boot",
+		ModelPath: path,
+		MaxWait:   time.Millisecond,
+		Chaos:     inj,
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// SIGHUP path: ReloadModel re-reads the artifact, the injected fault
+	// fails the read, the swap must not happen.
+	if _, err := s.ReloadModel(); err == nil {
+		t.Fatal("ReloadModel succeeded through an injected load failure")
+	}
+	// Admin path: same artifact, same fault, 422 to the caller.
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/admin/models/load", loadModelRequest{Path: path})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("admin load through injected failure: %d %s, want 422", resp.StatusCode, body)
+	}
+
+	if v := s.Registry().Active().Info().Version; v != 1 {
+		t.Fatalf("active version %d after failed loads, want 1 (old model keeps serving)", v)
+	}
+	if swaps := s.Registry().Swaps(); swaps != 0 {
+		t.Fatalf("%d swaps recorded after failed loads", swaps)
+	}
+	if inj.Fired(chaos.PointLoad) < 2 {
+		t.Errorf("load fault fired %d times, want 2 (reload + admin)", inj.Fired(chaos.PointLoad))
+	}
+
+	// The surviving model still scores, bit-identical to direct scoring.
+	for i := 0; i < 4; i++ {
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/score", scoreRequest{Features: floats(d.X[i]...)})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("score after failed reload: %d %s", resp.StatusCode, body)
+		}
+		var sr scoreResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if want := dep.Score(d.X[i]); sr.Score != want {
+			t.Errorf("row %d: score %v after failed reload, want %v", i, sr.Score, want)
+		}
+		if sr.ModelVersion != 1 {
+			t.Errorf("row %d scored by version %d, want the surviving version 1", i, sr.ModelVersion)
+		}
+	}
+}
+
+var shadowDroppedSample = regexp.MustCompile(`(?m)^hdfe_shadow_dropped_batches_total (\d+)$`)
+
+// TestChaosSlowShadowDropsNotBlocks pins the lossy-canary contract: a
+// stalled shadow worker backs up its bounded queue, further submissions
+// drop (counted), and the hot path stays untouched — every live request
+// answers 200 with the active model's exact score.
+func TestChaosSlowShadowDropsNotBlocks(t *testing.T) {
+	const requests = 16
+	d := synth.PimaM(7)
+	dep := testDeployment(t, 128)
+	cand, err := core.BuildDeployment(core.SpecsFor(d.Features), d.X, d.Y, core.Options{Dim: 128, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj := chaos.New(1, chaos.Fault{Point: chaos.PointShadow, P: 1, Delay: 50 * time.Millisecond})
+	s := New(dep, Config{MaxWait: time.Millisecond, ShadowQueue: 1, Chaos: inj})
+	defer s.Close()
+	if _, err := s.AdoptShadow(cand, "slow-canary"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < requests; i++ {
+		row := d.X[i%len(d.X)]
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/score", scoreRequest{Features: floats(row...)})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: %d %s (shadow pressure leaked into the hot path)", i, resp.StatusCode, body)
+		}
+		var sr scoreResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if want := dep.Score(row); sr.Score != want {
+			t.Errorf("request %d: score %v under shadow pressure, want %v", i, sr.Score, want)
+		}
+	}
+
+	if dropped := s.shadow.dropped.Load(); dropped == 0 {
+		t.Error("no shadow batches dropped despite a 50ms stall behind a 1-batch queue")
+	}
+	if scored := s.Metrics().Snapshot().RecordsScored; scored != requests {
+		t.Errorf("%d records scored, want %d (hot path must not shed)", scored, requests)
+	}
+
+	// The drop counter is a first-class metric: /metrics must report it.
+	body, _ := scrape(t, ts)
+	match := shadowDroppedSample.FindStringSubmatch(body)
+	if match == nil {
+		t.Fatal("hdfe_shadow_dropped_batches_total missing from /metrics")
+	}
+	if n, _ := strconv.Atoi(match[1]); n < 1 {
+		t.Errorf("hdfe_shadow_dropped_batches_total = %d, want >= 1", n)
+	}
+}
+
+// TestDeadlineHeaderTightensBudget pins the client-deadline contract: a
+// header budget smaller than the server timeout is honoured (the request
+// times out at the header's deadline), and a malformed header is a 400.
+func TestDeadlineHeaderTightensBudget(t *testing.T) {
+	dep := testDeployment(t, 128)
+	inj := chaos.New(1, chaos.Fault{Point: chaos.PointBatch, P: 1, Delay: 80 * time.Millisecond})
+	s := New(dep, Config{MaxWait: time.Millisecond, RequestTimeout: 5 * time.Second, Chaos: inj})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	row := synth.PimaM(7).X[0]
+	buf, err := json.Marshal(scoreRequest{Features: floats(row...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(deadline string) *http.Response {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/score", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if deadline != "" {
+			req.Header.Set(DeadlineHeader, deadline)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// 20ms client budget against an 80ms stall: the header, not the 5s
+	// server timeout, must time the request out.
+	start := time.Now()
+	if resp := post("20"); resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d with a 20ms client deadline under an 80ms stall, want 504", resp.StatusCode)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("504 took %v — the server timeout, not the client deadline, was applied", took)
+	}
+
+	for _, bad := range []string{"0", "-5", "soon", "1.5"} {
+		if resp := post(bad); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("deadline header %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}

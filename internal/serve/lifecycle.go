@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"hdfe/internal/chaos"
 	"hdfe/internal/core"
 	"hdfe/internal/registry"
 )
@@ -147,8 +148,13 @@ func (s *Server) ReloadModel() (registry.Info, error) {
 func (s *Server) Registry() *registry.Registry { return s.reg }
 
 // load reads and schema-checks an artifact, returning an adopted,
-// unpublished model.
+// unpublished model. The chaos seam can fail the read — a load failure,
+// injected or real, must leave the serving state untouched (the current
+// model keeps serving; the chaos regression suite pins this).
 func (s *Server) load(path, name string) (*registry.Model, error) {
+	if err := s.cfg.Chaos.Inject(chaos.PointLoad); err != nil {
+		return nil, err
+	}
 	dep, sha, err := registry.ReadFile(path)
 	if err != nil {
 		return nil, err

@@ -59,6 +59,8 @@ type Metrics struct {
 	microbatchedRecords atomic.Uint64 // records scored through the batcher
 	batchHist           [len(batchBucketLabels)]atomic.Uint64
 
+	shed [numShedReasons]atomic.Uint64 // overload-protection rejections by reason
+
 	latencyHist [numLatencyBuckets + 1]atomic.Uint64
 	latencyObs  atomic.Uint64
 	latencySum  atomic.Uint64 // nanoseconds, for Prometheus _sum
@@ -66,6 +68,40 @@ type Metrics struct {
 
 // NewMetrics returns a zeroed metrics set anchored at the current time.
 func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// ShedReason says why overload protection refused work; the reasons are
+// the label values of the hdfe_shed_total metric family.
+type ShedReason uint8
+
+const (
+	// ShedQueueFull: the admission gate's in-flight budget was exhausted
+	// (429 + Retry-After).
+	ShedQueueFull ShedReason = iota
+	// ShedDeadline: a queued record's deadline expired before its batch
+	// was scored, so the batch loop abandoned it before encode/score
+	// work was spent.
+	ShedDeadline
+	// ShedDraining: the request arrived after shutdown began (503).
+	ShedDraining
+
+	numShedReasons
+)
+
+var shedReasonNames = [numShedReasons]string{"queue_full", "deadline", "draining"}
+
+// String returns the reason's metric label value.
+func (r ShedReason) String() string {
+	if int(r) < int(numShedReasons) {
+		return shedReasonNames[r]
+	}
+	return "unknown"
+}
+
+// Shed counts one refused unit of work.
+func (m *Metrics) Shed(r ShedReason) { m.shed[r].Add(1) }
+
+// ShedCount reads one reason's counter.
+func (m *Metrics) ShedCount(r ShedReason) uint64 { return m.shed[r].Load() }
 
 // ObserveBatch records one microbatcher batch of n records.
 func (m *Metrics) ObserveBatch(n int) {
@@ -133,6 +169,9 @@ type Snapshot struct {
 	ValidationErrors uint64        `json:"validation_errors"`
 	Timeouts         uint64        `json:"timeouts"`
 	Errors           uint64        `json:"errors"`
+	ShedQueueFull    uint64        `json:"shed_queue_full"`
+	ShedDeadline     uint64        `json:"shed_deadline"`
+	ShedDraining     uint64        `json:"shed_draining"`
 	Batches          uint64        `json:"batches"`
 	MeanBatchSize    float64       `json:"mean_batch_size"`
 	BatchSizes       []BatchBucket `json:"batch_size_histogram"`
@@ -151,6 +190,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		ValidationErrors: m.validationErrs.Load(),
 		Timeouts:         m.timeouts.Load(),
 		Errors:           m.errors.Load(),
+		ShedQueueFull:    m.shed[ShedQueueFull].Load(),
+		ShedDeadline:     m.shed[ShedDeadline].Load(),
+		ShedDraining:     m.shed[ShedDraining].Load(),
 		Batches:          m.batches.Load(),
 		LatencyP50Micros: float64(m.quantile(0.50)) / float64(time.Microsecond),
 		LatencyP90Micros: float64(m.quantile(0.90)) / float64(time.Microsecond),

@@ -48,6 +48,13 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 	p.Header("hdserve_microbatched_records_total", "counter", "Records scored through the microbatcher.")
 	p.Value("hdserve_microbatched_records_total", float64(m.microbatchedRecords.Load()))
 
+	p.Header("hdfe_shed_total", "counter", "Requests refused by overload protection, by reason.")
+	for r := ShedReason(0); r < numShedReasons; r++ {
+		p.Value("hdfe_shed_total", float64(m.ShedCount(r)), "reason", r.String())
+	}
+	p.Header("hdserve_inflight_records", "gauge", "Records currently admitted past the overload gate.")
+	p.Value("hdserve_inflight_records", float64(s.adm.Inflight()))
+
 	p.Header("hdserve_batcher_queue_depth", "gauge", "Requests waiting for the batch loop.")
 	p.Value("hdserve_batcher_queue_depth", float64(s.batcher.QueueDepth()))
 	p.Header("hdserve_batcher_accepting", "gauge", "1 while the batcher accepts requests, 0 once draining.")

@@ -40,12 +40,14 @@ var promFamilies = []string{
 	"hdfe_quality_canary_healthy gauge",
 	"hdfe_quality_f1 gauge",
 	"hdfe_quality_labels_total counter",
+	"hdfe_shed_total counter",
 	"hdserve_batch_size histogram",
 	"hdserve_batcher_accepting gauge",
 	"hdserve_batcher_queue_depth gauge",
 	"hdserve_batches_total counter",
 	"hdserve_build_info gauge",
 	"hdserve_errors_total counter",
+	"hdserve_inflight_records gauge",
 	"hdserve_microbatched_records_total counter",
 	"hdserve_model_swaps_total counter",
 	"hdserve_records_scored_total counter",

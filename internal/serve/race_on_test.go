@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector is on. The detector
+// slows scoring by roughly an order of magnitude, so latency-budget
+// assertions scale themselves up under -race rather than flaking.
+const raceEnabled = true

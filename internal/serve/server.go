@@ -9,12 +9,21 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
+	"hdfe/internal/chaos"
 	"hdfe/internal/core"
 	"hdfe/internal/obs"
 	"hdfe/internal/registry"
 )
+
+// DeadlineHeader is the request header carrying a client-side scoring
+// budget in integer milliseconds. The effective per-request deadline is
+// the smaller of this and the server's RequestTimeout, propagated through
+// context.Context into the batcher so a record past its budget is
+// abandoned before encode/score work is spent on it.
+const DeadlineHeader = "X-Request-Deadline-Ms"
 
 // Config tunes the scoring service. The zero value serves with the
 // defaults noted on each field.
@@ -42,6 +51,21 @@ type Config struct {
 	MaxBatchRecords int
 	// MaxBodyBytes caps request body size (default 8 MiB).
 	MaxBodyBytes int64
+	// MaxInFlight is the admission gate's record budget across both
+	// scoring routes: requests beyond it are fast-rejected with 429 and
+	// a Retry-After hint before any validation or encode work is spent.
+	// Default 1024; negative disables the gate.
+	MaxInFlight int
+	// QueueDepth is the batcher queue capacity. Default
+	// max(4*MaxBatch, MaxInFlight), so the admission gate — not the
+	// queue — is what bounds backlog and Submit never blocks on enqueue.
+	QueueDepth int
+	// RetryAfter is the hint sent in the Retry-After header of 429/503
+	// shed responses (default 1s; rendered in whole seconds, min 1).
+	RetryAfter time.Duration
+	// Chaos is the fault-injection seam (see internal/chaos). Nil — the
+	// production configuration — costs one branch per injection point.
+	Chaos *chaos.Injector
 	// RejectMissing makes null feature values a validation error instead
 	// of encoding them as the baseline codeword (the encode contract's
 	// NaN rule, and the default behaviour).
@@ -103,6 +127,20 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 1024
+	} else if c.MaxInFlight < 0 {
+		c.MaxInFlight = 0 // explicit opt-out: unlimited
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxBatch
+		if c.MaxInFlight > c.QueueDepth {
+			c.QueueDepth = c.MaxInFlight
+		}
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
 	if c.PSIWarn <= 0 {
 		c.PSIWarn = 0.25
 	}
@@ -132,6 +170,7 @@ type Server struct {
 	reg     *registry.Registry
 	batcher *Batcher
 	shadow  *shadowScorer
+	adm     *admission
 	metrics *Metrics
 	tracer  *obs.Tracer
 	logger  *slog.Logger
@@ -155,8 +194,9 @@ func New(sc core.Scorer, cfg Config) *Server {
 	// Adopt and promote the boot model before the batcher starts: the
 	// batch loop assumes the active slot is never empty.
 	s.reg.Promote(s.adopt(sc, cfg.ModelName, cfg.ModelPath, cfg.ModelSHA256))
-	s.shadow = newShadowScorer(s.reg, cfg.ShadowQueue)
-	s.batcher = newBatcher(s.reg, cfg.MaxBatch, cfg.MaxWait, m, s.shadow)
+	s.adm = newAdmission(cfg.MaxInFlight, cfg.RetryAfter)
+	s.shadow = newShadowScorer(s.reg, cfg.ShadowQueue, cfg.RequestTimeout, cfg.Chaos)
+	s.batcher = newBatcher(s.reg, cfg.MaxBatch, cfg.MaxWait, cfg.QueueDepth, m, s.shadow, cfg.Chaos)
 	s.mux.HandleFunc("/v1/score", s.traced("score", s.handleScore))
 	s.mux.HandleFunc("/v1/score/batch", s.traced("score_batch", s.handleScoreBatch))
 	s.mux.HandleFunc("/v1/feedback", s.handleFeedback)
@@ -235,6 +275,10 @@ func (w *statusWriter) WriteHeader(code int) {
 // carrying the version of the model that scored it.
 func (s *Server) traced(route string, h func(http.ResponseWriter, *http.Request, *obs.ActiveTrace)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// Fault seam: injected request-entry latency (a slow proxy, an
+		// accept-queue spike) lands before the trace clock starts, like
+		// real upstream delay would.
+		_ = s.cfg.Chaos.Inject(chaos.PointHTTP)
 		at := s.tracer.Start(route)
 		sw := statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(&sw, r, at)
@@ -351,6 +395,18 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request, at *obs.Act
 	}
 	start := time.Now()
 	s.metrics.scoreRequests.Add(1)
+	budget, err := s.requestBudget(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error(), nil, 0)
+		return
+	}
+	// Admission before decode, validation, and encode: a shed request
+	// must cost a counter bump and a tiny JSON body, nothing more.
+	if !s.adm.tryAcquire(1) {
+		s.shed(w, http.StatusTooManyRequests, ShedQueueFull, "server overloaded")
+		return
+	}
+	defer s.adm.release(1)
 	var req scoreRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -366,15 +422,21 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request, at *obs.Act
 		}
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
 	defer cancel()
 	score, bt, st, err := s.batcher.submitTimed(ctx, row)
 	switch {
 	case errors.Is(err, ErrClosed):
-		s.metrics.errors.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server shutting down"})
+		s.shed(w, http.StatusServiceUnavailable, ShedDraining, "server shutting down")
+		return
+	case errors.Is(err, ErrQueueFull):
+		s.shed(w, http.StatusTooManyRequests, ShedQueueFull, "server overloaded")
 		return
 	case errors.Is(err, context.DeadlineExceeded):
+		// The whole budget went to queueing — attribute it to batch_wait
+		// so /debug/traces shows where timed-out requests spent their
+		// time, then answer 504.
+		at.Step(obs.StageBatchWait)
 		s.metrics.timeouts.Add(1)
 		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "scoring timed out"})
 		return
@@ -429,6 +491,18 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request, at *ob
 			fmt.Sprintf("%d records exceeds the %d-record batch limit", len(req.Records), s.cfg.MaxBatchRecords), nil, 0)
 		return
 	}
+	if s.batcher.Draining() {
+		s.shed(w, http.StatusServiceUnavailable, ShedDraining, "server shutting down")
+		return
+	}
+	// Admission by record count: one oversized batch admits on an idle
+	// server, but concurrent batches cannot stack unbounded encode work.
+	n := int64(len(req.Records))
+	if !s.adm.tryAcquire(n) {
+		s.shed(w, http.StatusTooManyRequests, ShedQueueFull, "server overloaded")
+		return
+	}
+	defer s.adm.release(n)
 	st := s.acquireActive()
 	defer st.release()
 	at.SetModel(st.version())
@@ -479,6 +553,24 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request, at *ob
 	})
 	at.Step(obs.StageRespond)
 	s.metrics.ObserveLatency(time.Since(start))
+}
+
+// requestBudget resolves one request's end-to-end scoring budget: the
+// configured RequestTimeout, tightened — never widened — by the client's
+// DeadlineHeader when present.
+func (s *Server) requestBudget(r *http.Request) (time.Duration, error) {
+	h := r.Header.Get(DeadlineHeader)
+	if h == "" {
+		return s.cfg.RequestTimeout, nil
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0, fmt.Errorf("invalid %s header %q: want positive integer milliseconds", DeadlineHeader, h)
+	}
+	if d := time.Duration(ms) * time.Millisecond; d < s.cfg.RequestTimeout {
+		return d, nil
+	}
+	return s.cfg.RequestTimeout, nil
 }
 
 // handleHealthz reports liveness, the active model's identity, and the

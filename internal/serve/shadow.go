@@ -4,7 +4,9 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"hdfe/internal/chaos"
 	"hdfe/internal/registry"
 )
 
@@ -61,9 +63,13 @@ type shadowDebug struct {
 
 // shadowBatch is one scored batch queued for shadow comparison: a deep
 // copy of the validated rows plus the active model's scores for them.
+// enq is the submission time — the worker discards batches older than
+// the per-request budget instead of burning encode time on comparisons
+// nobody is waiting for.
 type shadowBatch struct {
 	rows   [][]float64
 	active []float64
+	enq    time.Time
 }
 
 // shadowScorer re-scores validated batches against the shadow model off
@@ -73,6 +79,8 @@ type shadowBatch struct {
 // in dropped) rather than applying backpressure to live traffic.
 type shadowScorer struct {
 	reg     *registry.Registry
+	maxAge  time.Duration   // deadline for queued batches; <= 0 keeps all
+	chaos   *chaos.Injector // nil in production
 	dropped atomic.Uint64
 
 	mu     sync.RWMutex // guards closed vs. submit, so close(queue) is safe
@@ -81,16 +89,21 @@ type shadowScorer struct {
 	done   chan struct{}
 }
 
-// newShadowScorer starts the shadow worker. queueLen <= 0 defaults
-// to 64.
-func newShadowScorer(reg *registry.Registry, queueLen int) *shadowScorer {
+// newShadowScorer starts the shadow worker. queueLen <= 0 defaults to
+// 64. maxAge is the deadline a queued batch must be scored within
+// (normally the server's RequestTimeout) — a slow shadow model sheds
+// stale comparisons instead of falling ever further behind. inj may be
+// nil.
+func newShadowScorer(reg *registry.Registry, queueLen int, maxAge time.Duration, inj *chaos.Injector) *shadowScorer {
 	if queueLen <= 0 {
 		queueLen = 64
 	}
 	sh := &shadowScorer{
-		reg:   reg,
-		queue: make(chan shadowBatch, queueLen),
-		done:  make(chan struct{}),
+		reg:    reg,
+		maxAge: maxAge,
+		chaos:  inj,
+		queue:  make(chan shadowBatch, queueLen),
+		done:   make(chan struct{}),
 	}
 	go sh.loop()
 	return sh
@@ -107,6 +120,7 @@ func (sh *shadowScorer) submit(rows [][]float64, active []float64) {
 	cp := shadowBatch{
 		rows:   make([][]float64, len(rows)),
 		active: append([]float64(nil), active...),
+		enq:    time.Now(),
 	}
 	for i, row := range rows {
 		cp.rows[i] = append([]float64(nil), row...)
@@ -132,6 +146,15 @@ func (sh *shadowScorer) loop() {
 	defer close(sh.done)
 	var dst []float64
 	for b := range sh.queue {
+		// Fault seam: a stalled canary. The stall lands before the
+		// staleness check so a chaotic slow shadow sheds exactly like a
+		// genuinely slow one: the queue backs up, submit drops batches,
+		// and the hot path never notices.
+		_ = sh.chaos.Inject(chaos.PointShadow)
+		if sh.maxAge > 0 && time.Since(b.enq) > sh.maxAge {
+			sh.dropped.Add(1)
+			continue // deadline shed: nobody is waiting for this comparison
+		}
 		m := sh.reg.AcquireShadow()
 		if m == nil {
 			continue // shadow unset between submit and here; drop quietly

@@ -240,4 +240,82 @@ echo "obs-smoke: SIGHUP hot reload OK"
 
 kill "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true
+
+# --- Overload protection ---------------------------------------------
+
+# A second instance squeezed to a 1-record admission budget with a
+# chaos-injected 300ms stall in the batch stage: concurrent clients must
+# split into one slow success and fast 429s carrying Retry-After, and
+# the sheds must land in hdfe_shed_total{reason="queue_full"}.
+"$TMP/hdserve" -model "$TMP/model_a.bin" -name shed -addr 127.0.0.1:0 -log-format json \
+    -max-inflight 1 -chaos-spec 'batch:p=1,delay=300ms' -chaos-seed 1 \
+    >"$TMP/shed_stdout.log" 2>"$TMP/shed_stderr.log" &
+SERVER_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/.*"msg":"serving".*"addr":"\([^"]*\)".*/\1/p' "$TMP/shed_stdout.log" | head -n1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || {
+        echo "obs-smoke: overload hdserve exited early" >&2
+        cat "$TMP/shed_stdout.log" "$TMP/shed_stderr.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "obs-smoke: overload server never logged its address" >&2
+    exit 1
+fi
+if ! grep -q '"msg":"chaos injection enabled"' "$TMP/shed_stdout.log"; then
+    echo "obs-smoke: -chaos-spec did not log chaos injection enabled" >&2
+    cat "$TMP/shed_stdout.log" >&2
+    exit 1
+fi
+
+# Four concurrent clients against a 1-record budget held for 300ms.
+# (wait on the curl PIDs specifically: a bare `wait` would also block on
+# the background server.)
+CURL_PIDS=""
+for i in 1 2 3 4; do
+    curl -s -D "$TMP/shed_hdr_$i" -o "$TMP/shed_body_$i" -X POST "http://$ADDR/v1/score" \
+        -H 'Content-Type: application/json' \
+        -d '{"features":[2,120,70,25,100,30.5,0.4,40]}' &
+    CURL_PIDS="$CURL_PIDS $!"
+done
+for pid in $CURL_PIDS; do
+    wait "$pid" || true
+done
+
+SHED_COUNT=0
+for i in 1 2 3 4; do
+    if grep -q '^HTTP/[0-9.]* 429' "$TMP/shed_hdr_$i"; then
+        SHED_COUNT=$((SHED_COUNT + 1))
+        if ! grep -qi '^Retry-After: [1-9]' "$TMP/shed_hdr_$i"; then
+            echo "obs-smoke: 429 without a positive Retry-After header" >&2
+            cat "$TMP/shed_hdr_$i" >&2
+            exit 1
+        fi
+    fi
+done
+if [ "$SHED_COUNT" -eq 0 ]; then
+    echo "obs-smoke: no 429s from 4 concurrent clients against -max-inflight 1" >&2
+    for i in 1 2 3 4; do cat "$TMP/shed_hdr_$i" >&2; done
+    exit 1
+fi
+
+curl -sSf "http://$ADDR/metrics" >"$TMP/metrics.txt"
+if ! grep -q '^hdfe_shed_total{reason="queue_full"} [1-9]' "$TMP/metrics.txt"; then
+    echo "obs-smoke: hdfe_shed_total{reason=\"queue_full\"} did not count the sheds" >&2
+    grep '^hdfe_shed_total' "$TMP/metrics.txt" >&2 || true
+    exit 1
+fi
+if ! grep -q '^hdserve_inflight_records' "$TMP/metrics.txt"; then
+    echo "obs-smoke: /metrics missing hdserve_inflight_records" >&2
+    exit 1
+fi
+echo "obs-smoke: overload shed OK ($SHED_COUNT of 4 rejected)"
+
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
 echo "obs-smoke: OK"
