@@ -2,12 +2,14 @@
 # pass; `make test-race` runs the whole module (serving suite included)
 # under the race detector; `make fuzz-smoke` gives each fuzz target a short
 # budget; `make bench` tracks the zero-allocation encode/score path;
-# `make obs-smoke` boots hdserve and asserts the /metrics surface.
+# `make obs-smoke` boots hdserve and asserts the /metrics surface;
+# `make trace-smoke` adds a mock OTLP collector and asserts the W3C
+# traceparent round trip, span export, exemplars, and /debug/slo.
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all fmt vet test test-race fuzz-smoke bench obs-smoke cover cover-baseline
+.PHONY: all fmt vet test test-race fuzz-smoke bench obs-smoke trace-smoke cover cover-baseline
 
 all: fmt vet test
 
@@ -37,6 +39,9 @@ bench:
 
 obs-smoke:
 	sh scripts/obs_smoke.sh
+
+trace-smoke:
+	sh scripts/trace_smoke.sh
 
 # Per-package coverage gate: fails only when a package drops more than
 # 2 points below scripts/coverage_baseline.txt. Refresh the baseline

@@ -57,6 +57,12 @@ type benchReport struct {
 	Encode        stageStats  `json:"encode"`
 	ScoreBatch    stageStats  `json:"score_batch"`
 	Serve         serveStats  `json:"serve"`
+	// ServeExport is the same serving benchmark with OTLP span export
+	// enabled against a local discard collector at head-sampling 1 — the
+	// worst case for export overhead. The delta against Serve guards the
+	// zero-cost-telemetry claim. Pointer + omitempty keeps the addition
+	// schema-v1-compatible: older reports simply lack the row.
+	ServeExport *serveStats `json:"serve_export,omitempty"`
 }
 
 // runBenchJSON measures the three hot paths (record encode, batch
@@ -103,11 +109,24 @@ func runBenchJSON(dim int, seed uint64, quick bool, jsonOut string, stdout io.Wr
 
 	// Serve: concurrent single-record requests through the full HTTP
 	// stack, microbatcher included.
-	sv, err := benchServe(dep, d.X, quick)
+	sv, err := benchServe(dep, d.X, quick, "")
 	if err != nil {
 		return err
 	}
 	rep.Serve = sv
+
+	// Serve again with the exporter on, every trace kept, against a
+	// collector that just drains the body — isolating the export path's
+	// hot-path cost from collector speed.
+	collector := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+	}))
+	defer collector.Close()
+	sve, err := benchServe(dep, d.X, quick, collector.URL)
+	if err != nil {
+		return err
+	}
+	rep.ServeExport = &sve
 
 	if jsonOut == "" {
 		if jsonOut, err = nextBenchPath("."); err != nil {
@@ -149,8 +168,14 @@ func timeStage(passes, records int, fn func()) stageStats {
 
 // benchServe drives concurrent scoring requests through an httptest
 // server and reads the latency quantiles from the server's own metrics.
-func benchServe(dep *core.Deployment, X [][]float64, quick bool) (serveStats, error) {
-	srv := serve.New(dep, serve.Config{MaxWait: 500 * time.Microsecond})
+// A non-empty otlpEndpoint enables span export with head sampling 1.
+func benchServe(dep *core.Deployment, X [][]float64, quick bool, otlpEndpoint string) (serveStats, error) {
+	cfg := serve.Config{MaxWait: 500 * time.Microsecond}
+	if otlpEndpoint != "" {
+		cfg.OTLPEndpoint = otlpEndpoint
+		cfg.TraceSample = 1
+	}
+	srv := serve.New(dep, cfg)
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -291,6 +316,14 @@ func runBenchTrend(prevPath, latestPath string, stdout io.Writer) error {
 		{"serve.requests_per_sec", prev.Serve.RequestsPerSec, latest.Serve.RequestsPerSec, false},
 		{"serve.p50_us", prev.Serve.P50Micros, latest.Serve.P50Micros, true},
 		{"serve.p99_us", prev.Serve.P99Micros, latest.Serve.P99Micros, true},
+	}
+	// The export-overhead row is additive: only diffable when both
+	// reports carry it.
+	if prev.ServeExport != nil && latest.ServeExport != nil {
+		rows = append(rows,
+			trendRow{"serve_export.p50_us", prev.ServeExport.P50Micros, latest.ServeExport.P50Micros, true},
+			trendRow{"serve_export.p99_us", prev.ServeExport.P99Micros, latest.ServeExport.P99Micros, true},
+		)
 	}
 	fmt.Fprintf(stdout, "benchmark trend: %s -> %s\n", filepath.Base(prevPath), filepath.Base(latestPath))
 	fmt.Fprintf(stdout, "%-32s %14s %14s %9s\n", "metric", "prev", "latest", "delta")

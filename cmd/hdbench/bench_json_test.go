@@ -47,6 +47,12 @@ func TestBenchJSONRoundTrip(t *testing.T) {
 	if rep.Serve.MeanBatch < 1 {
 		t.Errorf("mean batch %v, want >= 1", rep.Serve.MeanBatch)
 	}
+	if rep.ServeExport == nil {
+		t.Fatal("report missing the serve_export overhead row")
+	}
+	if rep.ServeExport.RequestsPerSec <= 0 || rep.ServeExport.P99Micros < rep.ServeExport.P50Micros {
+		t.Errorf("serve_export stats %+v", *rep.ServeExport)
+	}
 }
 
 // TestBenchTrend diffs two synthetic reports and checks regressions are
@@ -71,10 +77,13 @@ func TestBenchTrend(t *testing.T) {
 		Encode:        stageStats{NsPerRecord: 1000, RecordsPerSec: 1e6, AllocsPerRecord: 0},
 		ScoreBatch:    stageStats{NsPerRecord: 1200, RecordsPerSec: 8e5, AllocsPerRecord: 0},
 		Serve:         serveStats{RequestsPerSec: 5000, P50Micros: 200, P99Micros: 900, MeanBatch: 3},
+		ServeExport:   &serveStats{RequestsPerSec: 4900, P50Micros: 210, P99Micros: 950, MeanBatch: 3},
 	}
 	slower := base
 	slower.Encode.NsPerRecord = 1500 // +50%: must be flagged
 	slower.Serve.RequestsPerSec = 6000
+	ex := *base.ServeExport
+	slower.ServeExport = &ex
 
 	prev := write("BENCH_1.json", base)
 	latest := write("BENCH_2.json", slower)
@@ -86,6 +95,9 @@ func TestBenchTrend(t *testing.T) {
 	out := stdout.String()
 	if !strings.Contains(out, "encode.ns_per_record") || !strings.Contains(out, "<< regression") {
 		t.Errorf("trend output missing the flagged regression:\n%s", out)
+	}
+	if !strings.Contains(out, "serve_export.p99_us") {
+		t.Errorf("trend output missing the export-overhead row:\n%s", out)
 	}
 	if !strings.Contains(out, "1 metric(s) regressed") {
 		t.Errorf("trend output missing the summary line:\n%s", out)

@@ -10,6 +10,8 @@
 //	        [-reject-out-of-range] [-psi-warn 0.25] [-clamp-warn 0.01]
 //	        [-score-window 4096] [-feedback-cap 4096]
 //	        [-quality-window 1024] [-quality-tol 0.05]
+//	        [-otlp-endpoint ""] [-trace-sample 0.01]
+//	        [-slo-target 0.999] [-slo-latency-ms 250]
 //	        [-log-format text|json] [-log-level info] [-pprof]
 //	hdserve -demo [-addr :8080] [-dim 10000] [-seed 42]
 //	hdserve -write-demo dep.bin [-dim 10000] [-seed 42]
@@ -34,6 +36,22 @@
 // /metrics serves Prometheus text format, /metrics.json the legacy JSON
 // snapshot, /debug/traces the recent and slowest per-stage request
 // traces, and -pprof mounts net/http/pprof under /debug/pprof/.
+//
+// Distributed tracing: every scoring route parses an inbound W3C
+// traceparent/tracestate, adopts a valid upstream trace ID (falling
+// back to a generated one), and echoes traceparent on every response —
+// including 429/504 sheds — so a gateway can correlate failures.
+// -otlp-endpoint enables OTLP/JSON span export through a bounded lossy
+// queue (telemetry never blocks scoring; overflow is counted in
+// hdfe_trace_dropped_total). Export is tail-sampled: slow, error, shed,
+// and shadow-disagreement traces are always kept, plus a -trace-sample
+// fraction of ordinary traffic. Latency histogram buckets carry
+// OpenMetrics exemplars referencing real trace IDs.
+//
+// SLOs: -slo-target and -slo-latency-ms configure availability and
+// latency objectives with multi-window burn rates (5m/1h fast, 6h/3d
+// slow), served at /debug/slo, exported as hdfe_slo_* families, and
+// logged on every edge-triggered burn-state change.
 //
 // Overload protection: -max-inflight bounds admitted records; excess
 // load is shed with 429 + Retry-After before any encode work is spent
@@ -110,6 +128,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		feedbackCap   = fs.Int("feedback-cap", 4096, "prediction ring capacity for /v1/feedback joins")
 		qualityWindow = fs.Int("quality-window", 1024, "rolling labeled-outcome window for the quality canary")
 		qualityTol    = fs.Float64("quality-tol", 0.05, "accuracy drop below the LOOCV baseline before the canary degrades")
+		otlpEndpoint  = fs.String("otlp-endpoint", "", "OTLP/HTTP trace collector URL, e.g. http://localhost:4318/v1/traces (empty disables span export)")
+		traceSample   = fs.Float64("trace-sample", 0.01, "head-sampling fraction of ordinary traces to export; slow/error/shed traces are always kept (negative: tail-only)")
+		sloTarget     = fs.Float64("slo-target", 0.999, "SLO compliance target for the availability and latency objectives")
+		sloLatencyMs  = fs.Int("slo-latency-ms", 250, "per-request latency objective in milliseconds for the SLO engine")
 		logFormat     = fs.String("log-format", "text", "structured log format: text or json")
 		logLevel      = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		pprofFlag     = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -198,6 +220,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		FeedbackCapacity: *feedbackCap,
 		QualityWindow:    *qualityWindow,
 		QualityTolerance: *qualityTol,
+		OTLPEndpoint:     *otlpEndpoint,
+		TraceSample:      *traceSample,
+		SLOTarget:        *sloTarget,
+		SLOLatency:       time.Duration(*sloLatencyMs) * time.Millisecond,
 		Logger:           logger,
 		EnablePprof:      *pprofFlag,
 	})

@@ -43,11 +43,16 @@ const (
 	// PointShadow fires in the shadow worker before it re-scores a
 	// batch — models a slow canary backing up the lossy queue.
 	PointShadow
+	// PointExport fires in the span exporter before each OTLP POST —
+	// models a stalled or failing tracing backend. Scoring must never
+	// notice: the export queue is lossy and the worker is off the hot
+	// path, which the trace regression suite asserts.
+	PointExport
 
 	numPoints
 )
 
-var pointNames = [numPoints]string{"http", "batch", "load", "shadow"}
+var pointNames = [numPoints]string{"http", "batch", "load", "shadow", "export"}
 
 // String returns the point's spec name.
 func (p Point) String() string {
@@ -64,7 +69,7 @@ func ParsePoint(s string) (Point, error) {
 			return Point(i), nil
 		}
 	}
-	return 0, fmt.Errorf("chaos: unknown injection point %q (want http|batch|load|shadow)", s)
+	return 0, fmt.Errorf("chaos: unknown injection point %q (want http|batch|load|shadow|export)", s)
 }
 
 // Fault is one configured failure mode at a Point. Each consultation of
@@ -104,7 +109,7 @@ func New(seed uint64, faults ...Fault) *Injector {
 //
 //	point:key=val,key=val;point:key=val...
 //
-// where point is http|batch|load|shadow and keys are p (probability,
+// where point is http|batch|load|shadow|export and keys are p (probability,
 // default 1), delay and jitter (Go durations, default 0), and err (an
 // error message; the consultation fails with it). Example:
 //

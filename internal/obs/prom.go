@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // PromContentType is the Prometheus text exposition content type.
@@ -79,13 +80,41 @@ func (p *PromWriter) Value(name string, v float64, labels ...string) {
 // metric's native unit (seconds for *_seconds). labels apply to every
 // line, with le appended on buckets.
 func (p *PromWriter) Histogram(name string, bounds []float64, counts []uint64, sum float64, labels ...string) {
+	p.HistogramExemplars(name, bounds, counts, sum, nil, labels...)
+}
+
+// Exemplar links one histogram bucket to a concrete trace: the trace ID
+// of a request that landed in the bucket, the observed value in the
+// metric's native unit, and when it was observed. Rendered as the
+// OpenMetrics exemplar suffix (`# {trace_id="..."} value timestamp`),
+// which Prometheus scrapes when exemplar storage is enabled and other
+// collectors ignore as a comment.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	Ts      time.Time
+}
+
+// HistogramExemplars is Histogram with an optional exemplar per bucket:
+// ex may be nil or hold len(bounds)+1 entries (nil entries skip the
+// suffix), aligned with counts.
+func (p *PromWriter) HistogramExemplars(name string, bounds []float64, counts []uint64, sum float64, ex []*Exemplar, labels ...string) {
 	var cum uint64
+	line := func(i int, le string) {
+		suffix := ""
+		if i < len(ex) && ex[i] != nil {
+			suffix = fmt.Sprintf(" # {trace_id=\"%s\"} %s %.3f",
+				escapeLabel(ex[i].TraceID), formatValue(ex[i].Value),
+				float64(ex[i].Ts.UnixMilli())/1e3)
+		}
+		p.printf("%s_bucket%s %d%s\n", name, formatLabels(append(labels, "le", le)), cum, suffix)
+	}
 	for i, b := range bounds {
 		cum += counts[i]
-		p.printf("%s_bucket%s %d\n", name, formatLabels(append(labels, "le", formatValue(b))), cum)
+		line(i, formatValue(b))
 	}
 	cum += counts[len(bounds)]
-	p.printf("%s_bucket%s %d\n", name, formatLabels(append(labels, "le", "+Inf")), cum)
+	line(len(bounds), "+Inf")
 	p.printf("%s_sum%s %s\n", name, formatLabels(labels), formatValue(sum))
 	p.printf("%s_count%s %d\n", name, formatLabels(labels), cum)
 }

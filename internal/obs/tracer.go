@@ -11,12 +11,15 @@ import (
 // each pipeline stage took. A stage the request never entered stays zero.
 type Trace struct {
 	ID     uint64
+	Ctx    TraceContext // W3C identity: trace ID, this request's span ID, flags
+	Parent [8]byte      // upstream span ID when Ctx was adopted (zero otherwise)
 	Route  string
 	Status int
 	Start  time.Time
 	Total  time.Duration
 	Batch  int    // microbatch size the record was scored in (0 if n/a)
 	Model  uint64 // registry version of the model that scored it (0 if n/a)
+	Shed   string // overload/deadline shed reason ("" if the request was served)
 	Stages [NumStages]time.Duration
 }
 
@@ -52,6 +55,7 @@ type StageStats struct {
 // until Finish, which briefly locks the rings.
 type Tracer struct {
 	nextID atomic.Uint64
+	seed   uint64 // trace/span ID derivation seed
 	hist   [NumStages]stageHist
 	pool   sync.Pool
 
@@ -64,12 +68,21 @@ type Tracer struct {
 }
 
 // NewTracer returns a tracer keeping the size most recent and size
-// slowest traces (size <= 0 defaults to 64).
+// slowest traces (size <= 0 defaults to 64). Generated trace IDs are
+// seeded from the wall clock; use NewTracerSeeded for reproducible IDs.
 func NewTracer(size int) *Tracer {
+	return NewTracerSeeded(size, uint64(time.Now().UnixNano()))
+}
+
+// NewTracerSeeded is NewTracer with a fixed seed for the generated
+// W3C trace/span IDs, so tests asserting on exported spans or
+// sampling decisions replay deterministically.
+func NewTracerSeeded(size int, seed uint64) *Tracer {
 	if size <= 0 {
 		size = 64
 	}
 	t := &Tracer{
+		seed:    seed,
 		recent:  make([]Trace, size),
 		slowest: make([]Trace, size),
 	}
@@ -87,14 +100,36 @@ type ActiveTrace struct {
 	mark time.Time
 }
 
-// Start opens a trace for one request on the given route and starts the
-// stage clock. The recorder comes from a pool: steady-state tracing
-// allocates nothing.
+// Start opens a trace for one request on the given route with a freshly
+// generated W3C trace identity and starts the stage clock. The recorder
+// comes from a pool: steady-state tracing allocates nothing.
 func (tr *Tracer) Start(route string) *ActiveTrace {
+	return tr.StartWith(route, TraceContext{})
+}
+
+// StartWith is Start joining an upstream W3C trace context: when parent
+// is valid the new trace adopts its trace ID, flags, and tracestate,
+// and records the upstream span as this request's parent; otherwise a
+// fresh trace identity is generated. Either way the request gets its
+// own new span ID.
+func (tr *Tracer) StartWith(route string, parent TraceContext) *ActiveTrace {
 	a := tr.pool.Get().(*ActiveTrace)
 	now := time.Now()
+	id := tr.nextID.Add(1)
+	ctx := TraceContext{Flags: FlagSampled}
+	var upstream [8]byte
+	if parent.Valid() {
+		ctx.TraceID = parent.TraceID
+		ctx.Flags = parent.Flags
+		ctx.State = parent.State
+		ctx.Remote = true
+		upstream = parent.SpanID
+	} else {
+		ctx.TraceID = newTraceID(tr.seed, id)
+	}
+	ctx.SpanID = newSpanID(tr.seed, id)
 	a.tr = tr
-	a.t = Trace{ID: tr.nextID.Add(1), Route: route, Start: now}
+	a.t = Trace{ID: id, Ctx: ctx, Parent: upstream, Route: route, Start: now}
 	a.mark = now
 	return a
 }
@@ -105,6 +140,25 @@ func (a *ActiveTrace) ID() uint64 {
 		return 0
 	}
 	return a.t.ID
+}
+
+// Context returns the request's W3C trace identity — what response
+// traceparent headers and exported spans carry.
+func (a *ActiveTrace) Context() TraceContext {
+	if a == nil {
+		return TraceContext{}
+	}
+	return a.t.Ctx
+}
+
+// SetShed records why overload protection refused this request, so shed
+// traces are attributable at /debug/traces and always survive tail
+// sampling.
+func (a *ActiveTrace) SetShed(reason string) {
+	if a == nil {
+		return
+	}
+	a.t.Shed = reason
 }
 
 // Step attributes the time since the last mark (Start, Step, or Mark) to
@@ -222,24 +276,28 @@ func (tr *Tracer) StageSnapshot() [NumStages]StageStats {
 // durations are microseconds, omitting stages the request never entered.
 type TraceView struct {
 	ID          uint64             `json:"id"`
+	TraceID     string             `json:"trace_id"`
 	Route       string             `json:"route"`
 	Status      int                `json:"status"`
 	Start       time.Time          `json:"start"`
 	TotalMicros float64            `json:"total_us"`
 	Batch       int                `json:"batch_size,omitempty"`
 	Model       uint64             `json:"model_version,omitempty"`
+	Shed        string             `json:"shed_reason,omitempty"`
 	Stages      map[string]float64 `json:"stages_us"`
 }
 
 func (t Trace) view() TraceView {
 	v := TraceView{
 		ID:          t.ID,
+		TraceID:     t.Ctx.TraceIDString(),
 		Route:       t.Route,
 		Status:      t.Status,
 		Start:       t.Start,
 		TotalMicros: float64(t.Total) / float64(time.Microsecond),
 		Batch:       t.Batch,
 		Model:       t.Model,
+		Shed:        t.Shed,
 		Stages:      make(map[string]float64, NumStages),
 	}
 	for s := 0; s < NumStages; s++ {

@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"hdfe/internal/obs"
 )
 
 // admission is the overload gate in front of the batcher: a record-level
@@ -73,10 +75,13 @@ func (a *admission) retryAfterHeader() string {
 }
 
 // shed writes the overload rejection for one request: the Retry-After
-// hint, the shed counter bump, and the JSON body. status is 429 for
-// budget rejections and 503 for requests arriving while draining.
-func (s *Server) shed(w http.ResponseWriter, status int, reason ShedReason, msg string) {
+// hint, the shed counter bump, the shed reason on the trace (so the
+// trace always survives tail sampling), and the JSON body carrying the
+// trace ID. status is 429 for budget rejections and 503 for requests
+// arriving while draining.
+func (s *Server) shed(w http.ResponseWriter, at *obs.ActiveTrace, status int, reason ShedReason, msg string) {
+	at.SetShed(reason.String())
 	s.metrics.Shed(reason)
 	w.Header().Set("Retry-After", s.adm.retryAfterHeader())
-	writeJSON(w, status, errorResponse{Error: msg})
+	writeJSON(w, status, errorResponse{Error: msg, TraceID: traceIDOf(at)})
 }

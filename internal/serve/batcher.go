@@ -41,6 +41,7 @@ type BatchTimings struct {
 type request struct {
 	ctx     context.Context
 	row     []float64
+	tc      obs.TraceContext // the submitter's W3C trace identity (may be zero)
 	enq     time.Time
 	timings BatchTimings
 	st      *modelState // the model that scored this request
@@ -117,16 +118,18 @@ func (b *Batcher) Draining() bool {
 // by the batch loop after Submit returns control to the loop, so callers
 // must not reuse it until Submit returns.
 func (b *Batcher) Submit(ctx context.Context, row []float64) (float64, error) {
-	score, _, _, err := b.submitTimed(ctx, row)
+	score, _, _, err := b.submitTimed(ctx, row, obs.TraceContext{})
 	return score, err
 }
 
 // submitTimed is Submit also returning the request's per-stage cost
 // breakdown and the state of the model that scored it (both zero/nil on
 // error). The returned state is for attribution — drift observation,
-// labels, trace tagging — and carries no scoring reference.
-func (b *Batcher) submitTimed(ctx context.Context, row []float64) (float64, BatchTimings, *modelState, error) {
-	req := &request{ctx: ctx, row: row, enq: time.Now(), resp: make(chan float64, 1)}
+// labels, trace tagging — and carries no scoring reference. tc is the
+// submitter's trace identity, threaded through the microbatch so the
+// shadow worker can join its comparison back to this request's trace.
+func (b *Batcher) submitTimed(ctx context.Context, row []float64, tc obs.TraceContext) (float64, BatchTimings, *modelState, error) {
+	req := &request{ctx: ctx, row: row, tc: tc, enq: time.Now(), resp: make(chan float64, 1)}
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
@@ -180,6 +183,7 @@ func (b *Batcher) loop() {
 	var (
 		batch []*request
 		rows  [][]float64
+		tcs   []obs.TraceContext
 		dst   []float64
 	)
 	timer := time.NewTimer(time.Hour)
@@ -221,6 +225,7 @@ func (b *Batcher) loop() {
 		// buffered resp channel means nobody needs an answer, and the
 		// encode/score cost is saved entirely.
 		rows = rows[:0]
+		tcs = tcs[:0]
 		alive := 0
 		for _, r := range batch {
 			if r.ctx != nil && r.ctx.Err() != nil {
@@ -232,6 +237,7 @@ func (b *Batcher) loop() {
 			batch[alive] = r
 			alive++
 			rows = append(rows, r.row)
+			tcs = append(tcs, r.tc)
 		}
 		batch = batch[:alive]
 		if len(batch) == 0 {
@@ -250,9 +256,10 @@ func (b *Batcher) loop() {
 			b.metrics.ObserveBatch(len(batch))
 		}
 		if b.shadow != nil {
-			// submit deep-copies rows and scores before returning, so the
-			// response sends below may hand row ownership back to callers.
-			b.shadow.submit(rows, dst)
+			// submit deep-copies rows, scores, and trace contexts before
+			// returning, so the response sends below may hand row ownership
+			// back to callers.
+			b.shadow.submit(rows, dst, tcs)
 		}
 		encTotal, distTotal, _ := b.acc.Totals()
 		n := time.Duration(len(batch))

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hdfe/internal/core"
+	"hdfe/internal/obs"
 	"hdfe/internal/registry"
 	"hdfe/internal/synth"
 )
@@ -125,7 +126,7 @@ func TestBatcherSubmitTimedReportsStages(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			row := d.X[i%len(d.X)]
-			got, bt, st, err := b.submitTimed(context.Background(), row)
+			got, bt, st, err := b.submitTimed(context.Background(), row, obs.TraceContext{})
 			if err != nil {
 				t.Error(err)
 				return

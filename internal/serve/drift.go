@@ -183,30 +183,30 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req feedbackRequest
-	if !s.decode(w, r, &req) {
+	if !s.decode(w, r, nil, &req) {
 		return
 	}
 	items := req.Items
 	if req.RequestID != "" || req.Label != nil {
 		if len(items) > 0 {
-			s.writeError(w, http.StatusBadRequest,
+			s.writeError(w, nil, http.StatusBadRequest,
 				"send either an inline request_id/label or items, not both", nil, 0)
 			return
 		}
 		items = []feedbackItem{{RequestID: req.RequestID, Label: req.Label}}
 	}
 	if len(items) == 0 {
-		s.writeError(w, http.StatusBadRequest, "no feedback items", nil, 0)
+		s.writeError(w, nil, http.StatusBadRequest, "no feedback items", nil, 0)
 		return
 	}
 	for i, it := range items {
 		if it.RequestID == "" {
-			s.writeError(w, http.StatusBadRequest,
+			s.writeError(w, nil, http.StatusBadRequest,
 				fmt.Sprintf("item %d: missing request_id", i), nil, i)
 			return
 		}
 		if it.Label == nil || (*it.Label != 0 && *it.Label != 1) {
-			s.writeError(w, http.StatusBadRequest,
+			s.writeError(w, nil, http.StatusBadRequest,
 				fmt.Sprintf("item %d: label must be 0 or 1", i), nil, i)
 			return
 		}

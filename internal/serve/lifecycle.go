@@ -229,11 +229,11 @@ func (s *Server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req loadModelRequest
-	if !s.decode(w, r, &req) {
+	if !s.decode(w, r, nil, &req) {
 		return
 	}
 	if req.Path == "" {
-		s.writeError(w, http.StatusBadRequest, "missing path", nil, 0)
+		s.writeError(w, nil, http.StatusBadRequest, "missing path", nil, 0)
 		return
 	}
 	var (
@@ -248,7 +248,7 @@ func (s *Server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
 		info, err = s.LoadAndPromote(req.Path, req.Name)
 	}
 	if err != nil {
-		s.writeError(w, http.StatusUnprocessableEntity, err.Error(), nil, 0)
+		s.writeError(w, nil, http.StatusUnprocessableEntity, err.Error(), nil, 0)
 		return
 	}
 	writeJSON(w, http.StatusOK, loadModelResponse{Role: role, Model: info})

@@ -5,6 +5,8 @@ import (
 	"math"
 	"sync/atomic"
 	"time"
+
+	"hdfe/internal/obs"
 )
 
 // Batch-size histogram buckets: 1, 2, 3-4, 5-8, ..., 65+. Power-of-two
@@ -64,6 +66,18 @@ type Metrics struct {
 	latencyHist [numLatencyBuckets + 1]atomic.Uint64
 	latencyObs  atomic.Uint64
 	latencySum  atomic.Uint64 // nanoseconds, for Prometheus _sum
+
+	// latencyEx pins the most recent trace per latency bucket, exposed
+	// as OpenMetrics exemplars so a dashboard histogram links straight
+	// to a concrete trace.
+	latencyEx [numLatencyBuckets + 1]atomic.Pointer[latencyExemplar]
+}
+
+// latencyExemplar is one bucket's most recent (traceID, latency) pair.
+type latencyExemplar struct {
+	traceID string
+	d       time.Duration
+	ts      time.Time
 }
 
 // NewMetrics returns a zeroed metrics set anchored at the current time.
@@ -111,7 +125,11 @@ func (m *Metrics) ObserveBatch(n int) {
 }
 
 // ObserveLatency records one end-to-end request latency.
-func (m *Metrics) ObserveLatency(d time.Duration) {
+func (m *Metrics) ObserveLatency(d time.Duration) { m.ObserveLatencyTrace(d, "") }
+
+// ObserveLatencyTrace is ObserveLatency also pinning traceID as the
+// bucket's exemplar (skipped when empty).
+func (m *Metrics) ObserveLatencyTrace(d time.Duration, traceID string) {
 	i := 0
 	for i < numLatencyBuckets && d > latencyBound(i) {
 		i++
@@ -119,6 +137,21 @@ func (m *Metrics) ObserveLatency(d time.Duration) {
 	m.latencyHist[i].Add(1)
 	m.latencyObs.Add(1)
 	m.latencySum.Add(uint64(d))
+	if traceID != "" {
+		m.latencyEx[i].Store(&latencyExemplar{traceID: traceID, d: d, ts: time.Now()})
+	}
+}
+
+// latencyExemplars materializes the per-bucket exemplars in the shape
+// obs.PromWriter.HistogramExemplars renders (nil entries skip).
+func (m *Metrics) latencyExemplars() []*obs.Exemplar {
+	out := make([]*obs.Exemplar, numLatencyBuckets+1)
+	for i := range m.latencyEx {
+		if e := m.latencyEx[i].Load(); e != nil {
+			out[i] = &obs.Exemplar{TraceID: e.traceID, Value: e.d.Seconds(), Ts: e.ts}
+		}
+	}
+	return out
 }
 
 // quantile returns the upper bound of the first latency bucket whose

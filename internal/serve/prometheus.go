@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"hdfe/internal/obs"
+	"hdfe/internal/obs/export"
+	"hdfe/internal/obs/slo"
 )
 
 // batchSizeBounds are the cumulative upper bounds matching the
@@ -80,8 +82,8 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 		latCounts[i] = m.latencyHist[i].Load()
 	}
 	latCounts[numLatencyBuckets] = m.latencyHist[numLatencyBuckets].Load()
-	p.Histogram("hdserve_request_duration_seconds", latBounds, latCounts,
-		float64(m.latencySum.Load())/1e9)
+	p.HistogramExemplars("hdserve_request_duration_seconds", latBounds, latCounts,
+		float64(m.latencySum.Load())/1e9, m.latencyExemplars())
 
 	p.Header("hdserve_stage_duration_seconds", "histogram",
 		"Per-request pipeline stage time (validate, batch_wait, encode, score, respond).")
@@ -95,9 +97,67 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.promDrift(p)
+	s.promTracing(p)
+	s.promSLO(p)
 
 	p.GoRuntime()
 	if err := p.Err(); err != nil {
 		s.logger.Warn("metrics exposition failed", "err", err)
+	}
+}
+
+// promTracing emits the span-export pipeline's counters. The families
+// appear (zeroed) even without an OTLP endpoint, so dashboards and the
+// golden exposition inventory are stable across configurations.
+func (s *Server) promTracing(p *obs.PromWriter) {
+	p.Header("hdfe_trace_sampled_total", "counter", "Tail-sampling decisions on finished traces, by decision.")
+	for _, d := range export.SampleReasons {
+		p.Value("hdfe_trace_sampled_total", float64(s.sampler.Decisions(d)), "decision", d)
+	}
+	p.Header("hdfe_trace_exported_total", "counter", "Spans acknowledged by the OTLP collector.")
+	p.Value("hdfe_trace_exported_total", float64(s.exporter.Exported()))
+	p.Header("hdfe_trace_dropped_total", "counter", "Spans dropped: queue overflow or exhausted export retries.")
+	p.Value("hdfe_trace_dropped_total", float64(s.exporter.Dropped()))
+	p.Header("hdfe_trace_export_batches_total", "counter", "Successful OTLP export POSTs.")
+	p.Value("hdfe_trace_export_batches_total", float64(s.exporter.Batches()))
+	p.Header("hdfe_trace_export_failures_total", "counter", "Failed OTLP export POST attempts (each retry counts).")
+	p.Value("hdfe_trace_export_failures_total", float64(s.exporter.Failures()))
+}
+
+// promSLO emits the burn-rate engine's state: target, windowed
+// compliance and burn rates per objective, and the active burn state as
+// a one-hot labeled gauge.
+func (s *Server) promSLO(p *obs.PromWriter) {
+	snap := s.slo.Snapshot()
+	p.Header("hdfe_slo_target", "gauge", "Compliance target shared by the availability and latency objectives.")
+	p.Value("hdfe_slo_target", snap.Target)
+	p.Header("hdfe_slo_latency_objective_seconds", "gauge", "Per-request latency objective.")
+	p.Value("hdfe_slo_latency_objective_seconds", snap.LatencyObjectiveMs/1e3)
+	p.Header("hdfe_slo_compliance", "gauge", "Windowed good-request fraction per objective.")
+	for _, w := range snap.Windows {
+		p.Value("hdfe_slo_compliance", w.Availability, "objective", slo.Availability, "window", w.Window)
+		p.Value("hdfe_slo_compliance", w.LatencyCompliance, "objective", slo.Latency, "window", w.Window)
+	}
+	p.Header("hdfe_slo_burn_rate", "gauge", "Windowed error-budget burn rate per objective (1.0 spends the budget exactly on schedule).")
+	for _, w := range snap.Windows {
+		p.Value("hdfe_slo_burn_rate", w.AvailabilityBurn, "objective", slo.Availability, "window", w.Window)
+		p.Value("hdfe_slo_burn_rate", w.LatencyBurn, "objective", slo.Latency, "window", w.Window)
+	}
+	p.Header("hdfe_slo_window_requests", "gauge", "Requests inside each SLO window.")
+	for _, w := range snap.Windows {
+		p.Value("hdfe_slo_window_requests", float64(w.Requests), "window", w.Window)
+	}
+	p.Header("hdfe_slo_state", "gauge", "Burn state per objective (1 on the active state).")
+	for _, obj := range [...]struct{ name, state string }{
+		{slo.Availability, snap.AvailabilityState},
+		{slo.Latency, snap.LatencyState},
+	} {
+		for _, st := range [...]string{slo.StateOK, slo.StateSlowBurn, slo.StateFastBurn} {
+			v := 0.0
+			if st == obj.state {
+				v = 1
+			}
+			p.Value("hdfe_slo_state", v, "objective", obj.name, "state", st)
+		}
 	}
 }

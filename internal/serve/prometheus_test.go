@@ -41,6 +41,17 @@ var promFamilies = []string{
 	"hdfe_quality_f1 gauge",
 	"hdfe_quality_labels_total counter",
 	"hdfe_shed_total counter",
+	"hdfe_slo_burn_rate gauge",
+	"hdfe_slo_compliance gauge",
+	"hdfe_slo_latency_objective_seconds gauge",
+	"hdfe_slo_state gauge",
+	"hdfe_slo_target gauge",
+	"hdfe_slo_window_requests gauge",
+	"hdfe_trace_dropped_total counter",
+	"hdfe_trace_export_batches_total counter",
+	"hdfe_trace_export_failures_total counter",
+	"hdfe_trace_exported_total counter",
+	"hdfe_trace_sampled_total counter",
 	"hdserve_batch_size histogram",
 	"hdserve_batcher_accepting gauge",
 	"hdserve_batcher_queue_depth gauge",
@@ -59,7 +70,10 @@ var promFamilies = []string{
 	"hdserve_validation_errors_total counter",
 }
 
-var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (\+Inf|NaN|[-+0-9.eE]+)$`)
+// promSample validates one exposition sample line, optionally carrying
+// an OpenMetrics exemplar suffix (` # {trace_id="..."} value ts`) on
+// histogram buckets.
+var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (\+Inf|NaN|[-+0-9.eE]+)( # \{trace_id="[0-9a-f]{32}"\} [-+0-9.eE]+ [0-9]+\.[0-9]{3})?$`)
 
 func scrape(t *testing.T, ts *httptest.Server) (string, *http.Response) {
 	t.Helper()

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hdfe/internal/core"
+	"hdfe/internal/obs"
 	"hdfe/internal/synth"
 )
 
@@ -137,12 +138,24 @@ func TestResponseSchemaGoldens(t *testing.T) {
 		t.Fatalf("feedback: %d %s", resp.StatusCode, body)
 	}
 
+	// File one fully attributed shed trace straight into the rings so the
+	// omitempty /debug/traces fields (batch_size, model_version,
+	// shed_reason) are all present in the golden: recent[0] is the newest
+	// trace, and fieldPaths only recurses into the first array element.
+	at := s.tracer.StartWith("score", obs.TraceContext{})
+	at.SetBatch(1)
+	at.SetModel(1)
+	at.SetShed(ShedQueueFull.String())
+	at.Finish(429)
+
 	for _, tc := range []struct {
 		route  string
 		golden string
 	}{
 		{"/debug/drift", "drift_schema.golden"},
 		{"/v1/models", "models_schema.golden"},
+		{"/debug/traces", "traces_schema.golden"},
+		{"/debug/slo", "slo_schema.golden"},
 	} {
 		res, err := ts.Client().Get(ts.URL + tc.route)
 		if err != nil {

@@ -15,6 +15,8 @@ import (
 	"hdfe/internal/chaos"
 	"hdfe/internal/core"
 	"hdfe/internal/obs"
+	"hdfe/internal/obs/export"
+	"hdfe/internal/obs/slo"
 	"hdfe/internal/registry"
 )
 
@@ -101,6 +103,28 @@ type Config struct {
 	// TraceBuffer sizes the /debug/traces rings: that many most-recent
 	// and that many slowest traces are kept (default 64).
 	TraceBuffer int
+	// OTLPEndpoint is the OTLP/HTTP trace collector URL (e.g.
+	// http://localhost:4318/v1/traces). Empty — the default — disables
+	// span export entirely; the in-process tracer still feeds
+	// /debug/traces and the stage histograms.
+	OTLPEndpoint string
+	// TraceSample is the head-sampling fraction of ordinary traces
+	// exported on top of the always-kept slow, error, and shed traces
+	// (default 0.01; negative keeps tail-sampled traces only).
+	TraceSample float64
+	// TraceSeed seeds generated W3C trace IDs, the head-sampling rolls,
+	// and export retry jitter (default: wall clock; fix it in tests for
+	// reproducible identities and sampling decisions).
+	TraceSeed uint64
+	// ExportQueue bounds the lossy span queue feeding the OTLP export
+	// worker (default 1024 spans; overflow is dropped, never blocks).
+	ExportQueue int
+	// SLOTarget is the compliance target shared by the availability and
+	// latency SLO objectives (default 0.999).
+	SLOTarget float64
+	// SLOLatency is the per-request latency objective the SLO engine
+	// holds responses to (default 250ms).
+	SLOLatency time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 }
@@ -156,6 +180,18 @@ func (c Config) withDefaults() Config {
 	if c.TraceBuffer <= 0 {
 		c.TraceBuffer = 64
 	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 0.01
+	} else if c.TraceSample < 0 {
+		c.TraceSample = 0
+	}
+	if c.TraceSeed == 0 {
+		c.TraceSeed = uint64(time.Now().UnixNano())
+	}
+	if c.ExportQueue <= 0 {
+		c.ExportQueue = 1024
+	}
+	// SLOTarget and SLOLatency zero-defaults live in slo.New.
 	return c
 }
 
@@ -166,15 +202,18 @@ func (c Config) withDefaults() Config {
 // New, mount via Handler (tests) or run with Serve (production), and
 // always Close to drain the batcher and the shadow worker.
 type Server struct {
-	cfg     Config
-	reg     *registry.Registry
-	batcher *Batcher
-	shadow  *shadowScorer
-	adm     *admission
-	metrics *Metrics
-	tracer  *obs.Tracer
-	logger  *slog.Logger
-	mux     *http.ServeMux
+	cfg      Config
+	reg      *registry.Registry
+	batcher  *Batcher
+	shadow   *shadowScorer
+	adm      *admission
+	metrics  *Metrics
+	tracer   *obs.Tracer
+	exporter *export.Exporter // nil without an OTLPEndpoint
+	sampler  *export.Sampler
+	slo      *slo.Engine
+	logger   *slog.Logger
+	mux      *http.ServeMux
 }
 
 // New builds a server over the boot scorer (typically a
@@ -187,15 +226,44 @@ func New(sc core.Scorer, cfg Config) *Server {
 		cfg:     cfg,
 		reg:     registry.New(),
 		metrics: m,
-		tracer:  obs.NewTracer(cfg.TraceBuffer),
+		tracer:  obs.NewTracerSeeded(cfg.TraceBuffer, cfg.TraceSeed),
 		logger:  cfg.Logger,
 		mux:     http.NewServeMux(),
 	}
+	s.slo = slo.New(slo.Config{
+		Target:           cfg.SLOTarget,
+		LatencyObjective: cfg.SLOLatency,
+		OnTransition: func(objective, from, to string) {
+			// Edge-triggered: one line per state change, warning on the way
+			// into a burn, info on the way back to ok.
+			lvl := slog.LevelWarn
+			if to == slo.StateOK {
+				lvl = slog.LevelInfo
+			}
+			cfg.Logger.LogAttrs(context.Background(), lvl, "slo state change",
+				slog.String("objective", objective),
+				slog.String("from", from),
+				slog.String("to", to))
+		},
+	})
+	if cfg.OTLPEndpoint != "" {
+		s.exporter = export.New(export.Config{
+			Endpoint:  cfg.OTLPEndpoint,
+			Service:   "hdserve",
+			QueueSize: cfg.ExportQueue,
+			Seed:      cfg.TraceSeed,
+			Chaos:     cfg.Chaos,
+		})
+	}
+	// Slow-trace cutoff for tail sampling: the live p99 latency — any
+	// trace at or past it is always exported, whatever the head fraction.
+	s.sampler = export.NewSampler(cfg.TraceSample, cfg.TraceSeed,
+		func() time.Duration { return m.quantile(0.99) })
 	// Adopt and promote the boot model before the batcher starts: the
 	// batch loop assumes the active slot is never empty.
 	s.reg.Promote(s.adopt(sc, cfg.ModelName, cfg.ModelPath, cfg.ModelSHA256))
 	s.adm = newAdmission(cfg.MaxInFlight, cfg.RetryAfter)
-	s.shadow = newShadowScorer(s.reg, cfg.ShadowQueue, cfg.RequestTimeout, cfg.Chaos)
+	s.shadow = newShadowScorer(s.reg, cfg.ShadowQueue, cfg.RequestTimeout, cfg.Chaos, s.exporter)
 	s.batcher = newBatcher(s.reg, cfg.MaxBatch, cfg.MaxWait, cfg.QueueDepth, m, s.shadow, cfg.Chaos)
 	s.mux.HandleFunc("/v1/score", s.traced("score", s.handleScore))
 	s.mux.HandleFunc("/v1/score/batch", s.traced("score_batch", s.handleScoreBatch))
@@ -206,6 +274,7 @@ func New(sc core.Scorer, cfg Config) *Server {
 	s.mux.HandleFunc("/metrics", readOnly(s.handleMetricsProm))
 	s.mux.HandleFunc("/metrics.json", readOnly(s.handleMetricsJSON))
 	s.mux.HandleFunc("/debug/traces", readOnly(s.handleTraces))
+	s.mux.HandleFunc("/debug/slo", readOnly(s.handleSLO))
 	s.mux.HandleFunc("/debug/drift", readOnly(s.handleDriftDebug))
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -226,12 +295,16 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // Tracer exposes the server's pipeline tracer.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
-// Close drains and stops the microbatcher, then the shadow worker. Call
-// after the HTTP listener has stopped accepting requests (Serve does
-// this in order).
+// Close drains and stops the microbatcher, then the shadow worker, then
+// the span exporter (in that order: the shadow worker may still emit
+// disagreement spans while draining). Call after the HTTP listener has
+// stopped accepting requests (Serve does this in order).
 func (s *Server) Close() {
 	s.batcher.Close()
 	s.shadow.close()
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
+	defer cancel()
+	s.exporter.Shutdown(ctx)
 }
 
 // Serve runs the service on ln until ctx is cancelled, then shuts down
@@ -273,16 +346,49 @@ func (w *statusWriter) WriteHeader(code int) {
 // logger: every request gets a trace ID, a per-stage span record folded
 // into the stage histograms and trace rings, and one structured log line
 // carrying the version of the model that scored it.
+//
+// W3C trace context flows through here: a valid inbound traceparent is
+// adopted (same trace ID, upstream span as parent), anything malformed
+// falls back to a freshly generated identity, and the resulting
+// traceparent is echoed on every response — set before the handler
+// runs, so 429/504 shed paths carry it too. After the response, the
+// request outcome feeds the SLO engine, and the tail sampler decides
+// whether the trace ships to the OTLP exporter.
 func (s *Server) traced(route string, h func(http.ResponseWriter, *http.Request, *obs.ActiveTrace)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		// Fault seam: injected request-entry latency (a slow proxy, an
 		// accept-queue spike) lands before the trace clock starts, like
 		// real upstream delay would.
 		_ = s.cfg.Chaos.Inject(chaos.PointHTTP)
-		at := s.tracer.Start(route)
+		parent, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if parent.Valid() {
+			parent.State = r.Header.Get("tracestate")
+		}
+		at := s.tracer.StartWith(route, parent)
+		tc := at.Context()
+		hdr := w.Header()
+		hdr.Set("traceparent", tc.Traceparent())
+		if tc.State != "" {
+			hdr.Set("tracestate", tc.State)
+		}
+		// Echo a client-supplied request ID (gateways correlate on it),
+		// otherwise mint one from the trace sequence.
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = requestID(at.ID())
+		}
+		hdr.Set("X-Request-Id", reqID)
 		sw := statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(&sw, r, at)
 		t := at.Finish(sw.status)
+		s.slo.Observe(t.Status, t.Total)
+		if s.exporter != nil {
+			if keep, _ := s.sampler.Keep(t); keep {
+				for _, sp := range export.FromTrace(t) {
+					s.exporter.Enqueue(sp)
+				}
+			}
+		}
 		lvl := slog.LevelInfo
 		switch {
 		case t.Status >= 500:
@@ -292,6 +398,7 @@ func (s *Server) traced(route string, h func(http.ResponseWriter, *http.Request,
 		}
 		s.logger.LogAttrs(r.Context(), lvl, "request",
 			slog.Uint64("trace_id", t.ID),
+			slog.String("w3c_trace_id", t.Ctx.TraceIDString()),
 			slog.String("route", route),
 			slog.Int("status", t.Status),
 			slog.Duration("latency", t.Total),
@@ -341,11 +448,23 @@ type batchScoreResponse struct {
 	Warnings     []recordWarnings `json:"warnings,omitempty"`
 }
 
-// errorResponse is every non-2xx body.
+// errorResponse is every non-2xx body. TraceID is the request's W3C
+// trace ID on traced (scoring) routes, so a client holding a rejection
+// body can find the exact trace behind it without parsing headers.
 type errorResponse struct {
 	Error   string       `json:"error"`
+	TraceID string       `json:"trace_id,omitempty"`
 	Details []FieldError `json:"details,omitempty"`
 	Record  int          `json:"record,omitempty"`
+}
+
+// traceIDOf extracts the hex trace ID for error bodies; empty for
+// untraced routes (nil at).
+func traceIDOf(at *obs.ActiveTrace) string {
+	if tc := at.Context(); tc.Valid() {
+		return tc.TraceIDString()
+	}
+	return ""
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -355,21 +474,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, msg string, details []FieldError, record int) {
+func (s *Server) writeError(w http.ResponseWriter, at *obs.ActiveTrace, status int, msg string, details []FieldError, record int) {
 	if status == http.StatusBadRequest && details != nil {
 		s.metrics.validationErrs.Add(1)
 	} else {
 		s.metrics.errors.Add(1)
 	}
-	writeJSON(w, status, errorResponse{Error: msg, Details: details, Record: record})
+	writeJSON(w, status, errorResponse{Error: msg, TraceID: traceIDOf(at), Details: details, Record: record})
 }
 
-func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, at *obs.ActiveTrace, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		s.writeError(w, http.StatusBadRequest, "malformed request body: "+err.Error(), nil, 0)
+		s.writeError(w, at, http.StatusBadRequest, "malformed request body: "+err.Error(), nil, 0)
 		return false
 	}
 	return true
@@ -397,18 +516,18 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request, at *obs.Act
 	s.metrics.scoreRequests.Add(1)
 	budget, err := s.requestBudget(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error(), nil, 0)
+		s.writeError(w, at, http.StatusBadRequest, err.Error(), nil, 0)
 		return
 	}
 	// Admission before decode, validation, and encode: a shed request
 	// must cost a counter bump and a tiny JSON body, nothing more.
 	if !s.adm.tryAcquire(1) {
-		s.shed(w, http.StatusTooManyRequests, ShedQueueFull, "server overloaded")
+		s.shed(w, at, http.StatusTooManyRequests, ShedQueueFull, "server overloaded")
 		return
 	}
 	defer s.adm.release(1)
 	var req scoreRequest
-	if !s.decode(w, r, &req) {
+	if !s.decode(w, r, at, &req) {
 		return
 	}
 	row, warnings, err := s.activeState().val.Validate(req.Features, nil)
@@ -416,33 +535,34 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request, at *obs.Act
 	if err != nil {
 		var verr *ValidationError
 		if errors.As(err, &verr) {
-			s.writeError(w, http.StatusBadRequest, "invalid record", verr.Fields, 0)
+			s.writeError(w, at, http.StatusBadRequest, "invalid record", verr.Fields, 0)
 		} else {
-			s.writeError(w, http.StatusBadRequest, err.Error(), nil, 0)
+			s.writeError(w, at, http.StatusBadRequest, err.Error(), nil, 0)
 		}
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), budget)
 	defer cancel()
-	score, bt, st, err := s.batcher.submitTimed(ctx, row)
+	score, bt, st, err := s.batcher.submitTimed(ctx, row, at.Context())
 	switch {
 	case errors.Is(err, ErrClosed):
-		s.shed(w, http.StatusServiceUnavailable, ShedDraining, "server shutting down")
+		s.shed(w, at, http.StatusServiceUnavailable, ShedDraining, "server shutting down")
 		return
 	case errors.Is(err, ErrQueueFull):
-		s.shed(w, http.StatusTooManyRequests, ShedQueueFull, "server overloaded")
+		s.shed(w, at, http.StatusTooManyRequests, ShedQueueFull, "server overloaded")
 		return
 	case errors.Is(err, context.DeadlineExceeded):
 		// The whole budget went to queueing — attribute it to batch_wait
 		// so /debug/traces shows where timed-out requests spent their
 		// time, then answer 504.
 		at.Step(obs.StageBatchWait)
+		at.SetShed(ShedDeadline.String())
 		s.metrics.timeouts.Add(1)
-		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "scoring timed out"})
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "scoring timed out", TraceID: traceIDOf(at)})
 		return
 	case err != nil:
 		s.metrics.errors.Add(1)
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error(), TraceID: traceIDOf(at)})
 		return
 	}
 	// The batcher measured where the submit interval actually went; fold
@@ -463,7 +583,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request, at *obs.Act
 	st.drift.quality.Record(resp.RequestID, resp.Prediction)
 	writeJSON(w, http.StatusOK, resp)
 	at.Step(obs.StageRespond)
-	s.metrics.ObserveLatency(time.Since(start))
+	s.metrics.ObserveLatencyTrace(time.Since(start), traceIDOf(at))
 }
 
 // handleScoreBatch scores an already-batched request directly through
@@ -479,27 +599,27 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request, at *ob
 	start := time.Now()
 	s.metrics.batchRequests.Add(1)
 	var req batchScoreRequest
-	if !s.decode(w, r, &req) {
+	if !s.decode(w, r, at, &req) {
 		return
 	}
 	if len(req.Records) == 0 {
-		s.writeError(w, http.StatusBadRequest, "empty records", nil, 0)
+		s.writeError(w, at, http.StatusBadRequest, "empty records", nil, 0)
 		return
 	}
 	if len(req.Records) > s.cfg.MaxBatchRecords {
-		s.writeError(w, http.StatusBadRequest,
+		s.writeError(w, at, http.StatusBadRequest,
 			fmt.Sprintf("%d records exceeds the %d-record batch limit", len(req.Records), s.cfg.MaxBatchRecords), nil, 0)
 		return
 	}
 	if s.batcher.Draining() {
-		s.shed(w, http.StatusServiceUnavailable, ShedDraining, "server shutting down")
+		s.shed(w, at, http.StatusServiceUnavailable, ShedDraining, "server shutting down")
 		return
 	}
 	// Admission by record count: one oversized batch admits on an idle
 	// server, but concurrent batches cannot stack unbounded encode work.
 	n := int64(len(req.Records))
 	if !s.adm.tryAcquire(n) {
-		s.shed(w, http.StatusTooManyRequests, ShedQueueFull, "server overloaded")
+		s.shed(w, at, http.StatusTooManyRequests, ShedQueueFull, "server overloaded")
 		return
 	}
 	defer s.adm.release(n)
@@ -513,9 +633,9 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request, at *ob
 		if err != nil {
 			var verr *ValidationError
 			if errors.As(err, &verr) {
-				s.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid record %d", i), verr.Fields, i)
+				s.writeError(w, at, http.StatusBadRequest, fmt.Sprintf("invalid record %d", i), verr.Fields, i)
 			} else {
-				s.writeError(w, http.StatusBadRequest, err.Error(), nil, i)
+				s.writeError(w, at, http.StatusBadRequest, err.Error(), nil, i)
 			}
 			return
 		}
@@ -530,7 +650,13 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request, at *ob
 	at.Step(obs.StageValidate)
 	var acc obs.StageAccum
 	scores := st.scorer.ScoreBatchIntoObserved(rows, nil, &acc)
-	s.shadow.submit(rows, scores)
+	// Every record in a client-side batch shares the request's trace
+	// context, so a shadow disagreement on any of them joins this trace.
+	tcs := make([]obs.TraceContext, len(rows))
+	for i := range tcs {
+		tcs[i] = at.Context()
+	}
+	s.shadow.submit(rows, scores, tcs)
 	encTotal, distTotal, _ := acc.Totals()
 	at.Add(obs.StageEncode, encTotal)
 	at.Add(obs.StageScore, distTotal)
@@ -552,7 +678,7 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request, at *ob
 		ModelVersion: st.version(), Warnings: allWarnings,
 	})
 	at.Step(obs.StageRespond)
-	s.metrics.ObserveLatency(time.Since(start))
+	s.metrics.ObserveLatencyTrace(time.Since(start), traceIDOf(at))
 }
 
 // requestBudget resolves one request's end-to-end scoring budget: the
@@ -599,11 +725,20 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTraces serves the tracer's rings: the most recent and the
-// slowest requests, each with a per-stage breakdown in microseconds.
+// slowest requests, each with a per-stage breakdown in microseconds and
+// its batch attribution (W3C trace ID, microbatch size, model version,
+// shed reason).
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	recent, slowest := s.tracer.TraceViews()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"recent":  recent,
 		"slowest": slowest,
 	})
+}
+
+// handleSLO serves the burn-rate engine's compliance snapshot: target,
+// error budget, per-window availability/latency compliance and burn
+// rates, and the edge-triggered burn state per objective.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.slo.Snapshot())
 }

@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"hdfe/internal/chaos"
+	"hdfe/internal/obs"
+	"hdfe/internal/obs/export"
 	"hdfe/internal/registry"
 )
 
@@ -69,6 +71,7 @@ type shadowDebug struct {
 type shadowBatch struct {
 	rows   [][]float64
 	active []float64
+	tcs    []obs.TraceContext // per-record trace identity (may be empty)
 	enq    time.Time
 }
 
@@ -78,10 +81,11 @@ type shadowBatch struct {
 // and lossy — under overload, shadow comparison drops batches (counted
 // in dropped) rather than applying backpressure to live traffic.
 type shadowScorer struct {
-	reg     *registry.Registry
-	maxAge  time.Duration   // deadline for queued batches; <= 0 keeps all
-	chaos   *chaos.Injector // nil in production
-	dropped atomic.Uint64
+	reg      *registry.Registry
+	maxAge   time.Duration    // deadline for queued batches; <= 0 keeps all
+	chaos    *chaos.Injector  // nil in production
+	exporter *export.Exporter // nil without an OTLP endpoint
+	dropped  atomic.Uint64
 
 	mu     sync.RWMutex // guards closed vs. submit, so close(queue) is safe
 	closed bool
@@ -92,34 +96,40 @@ type shadowScorer struct {
 // newShadowScorer starts the shadow worker. queueLen <= 0 defaults to
 // 64. maxAge is the deadline a queued batch must be scored within
 // (normally the server's RequestTimeout) — a slow shadow model sheds
-// stale comparisons instead of falling ever further behind. inj may be
-// nil.
-func newShadowScorer(reg *registry.Registry, queueLen int, maxAge time.Duration, inj *chaos.Injector) *shadowScorer {
+// stale comparisons instead of falling ever further behind. inj and exp
+// may be nil; with an exporter, every prediction flip emits an
+// always-exported shadow_disagreement span joined to the request's
+// trace.
+func newShadowScorer(reg *registry.Registry, queueLen int, maxAge time.Duration, inj *chaos.Injector, exp *export.Exporter) *shadowScorer {
 	if queueLen <= 0 {
 		queueLen = 64
 	}
 	sh := &shadowScorer{
-		reg:    reg,
-		maxAge: maxAge,
-		chaos:  inj,
-		queue:  make(chan shadowBatch, queueLen),
-		done:   make(chan struct{}),
+		reg:      reg,
+		maxAge:   maxAge,
+		chaos:    inj,
+		exporter: exp,
+		queue:    make(chan shadowBatch, queueLen),
+		done:     make(chan struct{}),
 	}
 	go sh.loop()
 	return sh
 }
 
 // submit offers one scored batch for shadow comparison. It deep-copies
-// rows and scores before returning, so callers may recycle their
-// buffers immediately; when no shadow is configured it is a cheap
-// atomic load and an early return.
-func (sh *shadowScorer) submit(rows [][]float64, active []float64) {
+// rows, scores, and trace contexts before returning, so callers may
+// recycle their buffers immediately; when no shadow is configured it is
+// a cheap atomic load and an early return. tcs may be nil or shorter
+// than rows — records without a trace identity just skip disagreement
+// spans.
+func (sh *shadowScorer) submit(rows [][]float64, active []float64, tcs []obs.TraceContext) {
 	if sh.reg.Shadow() == nil {
 		return
 	}
 	cp := shadowBatch{
 		rows:   make([][]float64, len(rows)),
 		active: append([]float64(nil), active...),
+		tcs:    append([]obs.TraceContext(nil), tcs...),
 		enq:    time.Now(),
 	}
 	for i, row := range rows {
@@ -161,9 +171,19 @@ func (sh *shadowScorer) loop() {
 		}
 		st := m.State().(*modelState)
 		dst = st.scorer.ScoreBatchInto(b.rows, dst)
+		now := time.Now()
 		for i, sc := range dst {
 			st.shadow.observe(b.active[i], sc)
 			st.drift.scores.Observe(sc)
+			// A prediction flip is exactly what tail sampling exists to
+			// keep, but the keep/drop decision happened when the request
+			// finished — before this comparison ran. So disagreements are
+			// exported unconditionally as their own span, joined to the
+			// original trace by the identity threaded through the batch.
+			if (b.active[i] >= 0.5) != (sc >= 0.5) && i < len(b.tcs) && b.tcs[i].Valid() {
+				sh.exporter.Enqueue(export.DisagreementSpan(
+					b.tcs[i], i, st.version(), b.active[i], sc, now))
+			}
 		}
 		m.Release()
 	}

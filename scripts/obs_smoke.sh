@@ -68,6 +68,11 @@ for name in \
     hdfe_drift_prediction_positive_ratio \
     hdfe_quality_baseline_accuracy \
     hdfe_quality_canary_healthy \
+    hdfe_trace_sampled_total \
+    hdfe_trace_dropped_total \
+    hdfe_slo_target \
+    hdfe_slo_burn_rate \
+    hdfe_slo_state \
     go_goroutines; do
     if ! grep -q "^$name" "$TMP/metrics.txt"; then
         echo "obs-smoke: /metrics missing $name" >&2
@@ -95,6 +100,25 @@ fi
 
 curl -sSf "http://$ADDR/debug/traces" | grep -q '"recent"' || {
     echo "obs-smoke: /debug/traces missing recent ring" >&2
+    exit 1
+}
+
+# W3C trace context: an inbound traceparent is adopted (same trace ID on
+# the response) even with span export disabled. The full export path is
+# `make trace-smoke`'s job.
+curl -sSf -D "$TMP/trace_hdr" -o /dev/null -X POST "http://$ADDR/v1/score" \
+    -H 'Content-Type: application/json' \
+    -H 'traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01' \
+    -d '{"features":[2,120,70,25,100,30.5,0.4,40]}'
+if ! grep -qi '^traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-' "$TMP/trace_hdr"; then
+    echo "obs-smoke: response did not adopt the upstream trace ID" >&2
+    cat "$TMP/trace_hdr" >&2
+    exit 1
+fi
+echo "obs-smoke: traceparent adoption OK"
+
+curl -sSf "http://$ADDR/debug/slo" | grep -q '"availability_state"' || {
+    echo "obs-smoke: /debug/slo missing availability_state" >&2
     exit 1
 }
 

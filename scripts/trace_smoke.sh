@@ -1,0 +1,221 @@
+#!/bin/sh
+# trace_smoke.sh boots hdserve against a mock OTLP collector and asserts
+# the distributed-tracing surface end to end: a W3C traceparent round
+# trip (upstream trace ID adopted, fresh server span, tracestate passed
+# through), trace IDs in error bodies, at least one exported OTLP/JSON
+# span batch landing at the collector, exemplars on the latency
+# histogram, and the /debug/slo burn-rate surface. Run via
+# `make trace-smoke`.
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+TMP=$(mktemp -d)
+SERVER_PID=""
+COLLECTOR_PID=""
+trap 'kill "$SERVER_PID" "$COLLECTOR_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
+
+cd "$ROOT"
+go build -o "$TMP/hdserve" ./cmd/hdserve
+
+# --- Mock OTLP collector ---------------------------------------------
+# A tiny stdlib-only sink: accepts POSTs on a random port, appends each
+# body to a file, and prints its address so we can point hdserve at it.
+mkdir -p "$TMP/otlpsink"
+cat >"$TMP/otlpsink/main.go" <<'EOF'
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+)
+
+func main() {
+	out, err := os.OpenFile(os.Args[1], os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		panic(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("collector listening on %s\n", ln.Addr())
+	panic(http.Serve(ln, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		out.Write(append(b, '\n'))
+		out.Sync()
+	})))
+}
+EOF
+go build -o "$TMP/otlpsink_bin" "$TMP/otlpsink/main.go"
+"$TMP/otlpsink_bin" "$TMP/spans.jsonl" >"$TMP/collector.log" 2>&1 &
+COLLECTOR_PID=$!
+
+COL_ADDR=""
+for _ in $(seq 1 100); do
+    COL_ADDR=$(sed -n 's/^collector listening on \(.*\)$/\1/p' "$TMP/collector.log" | head -n1)
+    [ -n "$COL_ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$COL_ADDR" ]; then
+    echo "trace-smoke: collector never reported its address" >&2
+    cat "$TMP/collector.log" >&2
+    exit 1
+fi
+echo "trace-smoke: collector on $COL_ADDR"
+
+# --- hdserve with export on ------------------------------------------
+"$TMP/hdserve" -write-demo "$TMP/model.bin" -dim 256 -seed 42 >/dev/null
+"$TMP/hdserve" -model "$TMP/model.bin" -name trace-smoke -addr 127.0.0.1:0 -log-format json \
+    -otlp-endpoint "http://$COL_ADDR/v1/traces" -trace-sample 1 \
+    -slo-target 0.999 -slo-latency-ms 250 \
+    >"$TMP/stdout.log" 2>"$TMP/stderr.log" &
+SERVER_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/.*"msg":"serving".*"addr":"\([^"]*\)".*/\1/p' "$TMP/stdout.log" | head -n1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || {
+        echo "trace-smoke: hdserve exited early" >&2
+        cat "$TMP/stdout.log" "$TMP/stderr.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "trace-smoke: server never logged its address" >&2
+    exit 1
+fi
+echo "trace-smoke: serving on $ADDR"
+
+# --- Traceparent round trip ------------------------------------------
+UPSTREAM_ID="4bf92f3577b34da6a3ce929d0e0e4736"
+UPSTREAM_TP="00-$UPSTREAM_ID-00f067aa0ba902b7-01"
+curl -sSf -D "$TMP/hdr" -o "$TMP/body" -X POST "http://$ADDR/v1/score" \
+    -H 'Content-Type: application/json' \
+    -H "traceparent: $UPSTREAM_TP" \
+    -H 'tracestate: vendor=1' \
+    -H 'X-Request-Id: smoke-1' \
+    -d '{"features":[2,120,70,25,100,30.5,0.4,40]}'
+
+RESP_TP=$(sed -n 's/^[Tt]raceparent: \([0-9a-f-]*\).*/\1/p' "$TMP/hdr" | head -n1)
+case "$RESP_TP" in
+00-"$UPSTREAM_ID"-*) ;;
+*)
+    echo "trace-smoke: response traceparent '$RESP_TP' did not adopt the upstream trace ID" >&2
+    cat "$TMP/hdr" >&2
+    exit 1
+    ;;
+esac
+case "$RESP_TP" in
+*00f067aa0ba902b7*)
+    echo "trace-smoke: server echoed the upstream span ID instead of minting its own" >&2
+    exit 1
+    ;;
+esac
+grep -qi '^tracestate: vendor=1' "$TMP/hdr" || {
+    echo "trace-smoke: tracestate not passed through" >&2
+    cat "$TMP/hdr" >&2
+    exit 1
+}
+grep -qi '^X-Request-Id: smoke-1' "$TMP/hdr" || {
+    echo "trace-smoke: client X-Request-Id not echoed" >&2
+    cat "$TMP/hdr" >&2
+    exit 1
+}
+echo "trace-smoke: traceparent round trip OK ($RESP_TP)"
+
+# A malformed traceparent must not fail the request — fresh identity.
+curl -sSf -D "$TMP/hdr_bad" -o /dev/null -X POST "http://$ADDR/v1/score" \
+    -H 'Content-Type: application/json' \
+    -H 'traceparent: ff-zzz-not-a-trace' \
+    -d '{"features":[2,120,70,25,100,30.5,0.4,40]}'
+BAD_TP=$(sed -n 's/^[Tt]raceparent: \([0-9a-f-]*\).*/\1/p' "$TMP/hdr_bad" | head -n1)
+case "$BAD_TP" in
+00-????????????????????????????????-????????????????-??) ;;
+*)
+    echo "trace-smoke: no valid fallback traceparent after a malformed header: '$BAD_TP'" >&2
+    exit 1
+    ;;
+esac
+
+# Error bodies quote the (adopted) trace ID for correlatable bug reports.
+ERR=$(curl -s -X POST "http://$ADDR/v1/score" \
+    -H 'Content-Type: application/json' \
+    -H "traceparent: $UPSTREAM_TP" \
+    -d '{"features":[1,2]}')
+case "$ERR" in
+*"\"trace_id\":\"$UPSTREAM_ID\""*) echo "trace-smoke: error body carries trace_id" ;;
+*)
+    echo "trace-smoke: 400 body missing the upstream trace_id: $ERR" >&2
+    exit 1
+    ;;
+esac
+
+# --- Exported spans ---------------------------------------------------
+# Head sampling is 1, so the scored requests above must land at the
+# collector (the exporter flushes at least every second).
+EXPORT_OK=""
+for _ in $(seq 1 100); do
+    if [ -s "$TMP/spans.jsonl" ] && grep -q "$UPSTREAM_ID" "$TMP/spans.jsonl"; then
+        EXPORT_OK=1
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$EXPORT_OK" ]; then
+    echo "trace-smoke: no exported span batch with the adopted trace ID" >&2
+    cat "$TMP/spans.jsonl" >&2 || true
+    exit 1
+fi
+grep -q '"resourceSpans"' "$TMP/spans.jsonl" || {
+    echo "trace-smoke: exported payload is not OTLP/JSON" >&2
+    exit 1
+}
+grep -q '"hdfe.route"' "$TMP/spans.jsonl" || {
+    echo "trace-smoke: exported spans carry no hdfe.route attribute" >&2
+    exit 1
+}
+echo "trace-smoke: exported span batch OK"
+
+# --- Metrics: export counters, exemplars, SLO families ----------------
+curl -sSf "http://$ADDR/metrics" >"$TMP/metrics.txt"
+for name in \
+    'hdfe_trace_sampled_total{decision="head"} [1-9]' \
+    'hdfe_trace_exported_total [1-9]' \
+    hdfe_trace_dropped_total \
+    hdfe_slo_target \
+    hdfe_slo_burn_rate \
+    'hdfe_slo_state{objective="availability",state="ok"} 1'; do
+    if ! grep -q "^$name" "$TMP/metrics.txt"; then
+        echo "trace-smoke: /metrics missing $name" >&2
+        grep '^hdfe_trace_\|^hdfe_slo_' "$TMP/metrics.txt" >&2 || true
+        exit 1
+    fi
+done
+if ! grep -q '# {trace_id="' "$TMP/metrics.txt"; then
+    echo "trace-smoke: latency histogram carries no exemplars" >&2
+    grep 'hdserve_request_duration_seconds_bucket' "$TMP/metrics.txt" | head -5 >&2
+    exit 1
+fi
+echo "trace-smoke: metrics + exemplars OK"
+
+# --- /debug/slo -------------------------------------------------------
+SLO=$(curl -sSf "http://$ADDR/debug/slo")
+for field in '"availability_state":"ok"' '"latency_state"' '"window":"5m"' '"error_budget"'; do
+    case "$SLO" in
+    *"$field"*) ;;
+    *)
+        echo "trace-smoke: /debug/slo missing $field: $SLO" >&2
+        exit 1
+        ;;
+    esac
+done
+echo "trace-smoke: /debug/slo OK"
+
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+echo "trace-smoke: OK"
