@@ -4,12 +4,14 @@
 # budget; `make bench` tracks the zero-allocation encode/score path;
 # `make obs-smoke` boots hdserve and asserts the /metrics surface;
 # `make trace-smoke` adds a mock OTLP collector and asserts the W3C
-# traceparent round trip, span export, exemplars, and /debug/slo.
+# traceparent round trip, span export, exemplars, and /debug/slo;
+# `make prof-smoke` drives batch load against a fast profiling cadence
+# and asserts the capture ring, pprof downloads, and runtime families.
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all fmt vet test test-race fuzz-smoke bench obs-smoke trace-smoke cover cover-baseline
+.PHONY: all fmt vet test test-race fuzz-smoke bench obs-smoke trace-smoke prof-smoke cover cover-baseline
 
 all: fmt vet test
 
@@ -42,6 +44,9 @@ obs-smoke:
 
 trace-smoke:
 	sh scripts/trace_smoke.sh
+
+prof-smoke:
+	sh scripts/prof_smoke.sh
 
 # Per-package coverage gate: fails only when a package drops more than
 # 2 points below scripts/coverage_baseline.txt. Refresh the baseline

@@ -18,6 +18,7 @@ import (
 
 	"hdfe/internal/core"
 	"hdfe/internal/hv"
+	"hdfe/internal/obs/prof"
 	"hdfe/internal/serve"
 	"hdfe/internal/synth"
 )
@@ -49,6 +50,18 @@ type serveStats struct {
 	MeanBatch      float64 `json:"mean_batch"`
 }
 
+// runtimeStats captures the runtime's health after a steady-state encode
+// loop: GC pause tail over the loop's window, allocation rate, and the
+// resident heap once the encode pools are warm. Ties a latency
+// regression in the stage stats to its runtime cause (GC pressure vs
+// plain slowdown).
+type runtimeStats struct {
+	GCPauseP99Micros float64 `json:"gc_pause_p99_us"`
+	AllocsPerOp      float64 `json:"allocs_per_op"`
+	HeapInuseBytes   uint64  `json:"heap_inuse_bytes"`
+	Goroutines       int     `json:"goroutines"`
+}
+
 // benchReport is the BENCH_*.json schema: the benchmark trajectory
 // artifact one per PR, diffed by scripts/bench_trend.sh.
 type benchReport struct {
@@ -63,6 +76,10 @@ type benchReport struct {
 	// zero-cost-telemetry claim. Pointer + omitempty keeps the addition
 	// schema-v1-compatible: older reports simply lack the row.
 	ServeExport *serveStats `json:"serve_export,omitempty"`
+	// Runtime is the runtime-health row measured over a steady-state
+	// encode loop. Pointer + omitempty, like ServeExport, keeps the
+	// addition schema-v1-compatible.
+	Runtime *runtimeStats `json:"runtime,omitempty"`
 }
 
 // runBenchJSON measures the three hot paths (record encode, batch
@@ -128,6 +145,12 @@ func runBenchJSON(dim int, seed uint64, quick bool, jsonOut string, stdout io.Wr
 	}
 	rep.ServeExport = &sve
 
+	// Runtime health over a steady-state encode loop, read from
+	// runtime/metrics via the same collector the profiler's scrape path
+	// uses.
+	rt := measureRuntime(dep, d.X, quick)
+	rep.Runtime = &rt
+
 	if jsonOut == "" {
 		if jsonOut, err = nextBenchPath("."); err != nil {
 			return err
@@ -163,6 +186,43 @@ func timeStage(passes, records int, fn func()) stageStats {
 		NsPerRecord:     float64(elapsed.Nanoseconds()) / total,
 		RecordsPerSec:   total / elapsed.Seconds(),
 		AllocsPerRecord: float64(after.Mallocs-before.Mallocs) / total,
+	}
+}
+
+// measureRuntime runs the zero-allocation encode path to steady state
+// and reports the GC pause p99 over that window, the allocation rate,
+// and the post-loop heap. Distinct collectors for the two snapshots keep
+// the previous GC-pause histogram from being overwritten: runtime/metrics
+// reuses histogram buffers across Read calls on one sample set.
+func measureRuntime(dep *core.Deployment, X [][]float64, quick bool) runtimeStats {
+	passes := 40
+	if quick {
+		passes = 8
+	}
+	s := hv.GetScratch(dep.Extractor.Dim())
+	rec := s.Rec()
+	// One warm pass before the measurement, like timeStage.
+	for _, row := range X {
+		dep.Extractor.TransformRecordInto(row, rec, s)
+	}
+	before := prof.NewCollector().Read()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	ops := 0
+	for p := 0; p < passes; p++ {
+		for _, row := range X {
+			dep.Extractor.TransformRecordInto(row, rec, s)
+			ops++
+		}
+	}
+	runtime.ReadMemStats(&ms1)
+	after := prof.NewCollector().Read()
+	hv.PutScratch(s)
+	return runtimeStats{
+		GCPauseP99Micros: float64(prof.GCPauseP99Between(before, after).Nanoseconds()) / 1e3,
+		AllocsPerOp:      float64(ms1.Mallocs-ms0.Mallocs) / float64(ops),
+		HeapInuseBytes:   after.HeapInuseBytes,
+		Goroutines:       after.Goroutines,
 	}
 }
 
@@ -323,6 +383,14 @@ func runBenchTrend(prevPath, latestPath string, stdout io.Writer) error {
 		rows = append(rows,
 			trendRow{"serve_export.p50_us", prev.ServeExport.P50Micros, latest.ServeExport.P50Micros, true},
 			trendRow{"serve_export.p99_us", prev.ServeExport.P99Micros, latest.ServeExport.P99Micros, true},
+		)
+	}
+	// The runtime-health row is likewise additive.
+	if prev.Runtime != nil && latest.Runtime != nil {
+		rows = append(rows,
+			trendRow{"runtime.gc_pause_p99_us", prev.Runtime.GCPauseP99Micros, latest.Runtime.GCPauseP99Micros, true},
+			trendRow{"runtime.allocs_per_op", prev.Runtime.AllocsPerOp, latest.Runtime.AllocsPerOp, true},
+			trendRow{"runtime.heap_inuse_bytes", float64(prev.Runtime.HeapInuseBytes), float64(latest.Runtime.HeapInuseBytes), true},
 		)
 	}
 	fmt.Fprintf(stdout, "benchmark trend: %s -> %s\n", filepath.Base(prevPath), filepath.Base(latestPath))

@@ -53,6 +53,20 @@ func TestBenchJSONRoundTrip(t *testing.T) {
 	if rep.ServeExport.RequestsPerSec <= 0 || rep.ServeExport.P99Micros < rep.ServeExport.P50Micros {
 		t.Errorf("serve_export stats %+v", *rep.ServeExport)
 	}
+	if rep.Runtime == nil {
+		t.Fatal("report missing the runtime row")
+	}
+	// The encode loop runs on the pooled scratch: steady state must stay
+	// under one allocation per record, and the heap must be populated.
+	if rep.Runtime.AllocsPerOp > 1 {
+		t.Errorf("runtime row allocates %v per op", rep.Runtime.AllocsPerOp)
+	}
+	if rep.Runtime.HeapInuseBytes == 0 || rep.Runtime.Goroutines < 1 {
+		t.Errorf("runtime stats %+v", *rep.Runtime)
+	}
+	if rep.Runtime.GCPauseP99Micros < 0 {
+		t.Errorf("negative gc pause p99 %v", rep.Runtime.GCPauseP99Micros)
+	}
 }
 
 // TestBenchTrend diffs two synthetic reports and checks regressions are
@@ -78,6 +92,7 @@ func TestBenchTrend(t *testing.T) {
 		ScoreBatch:    stageStats{NsPerRecord: 1200, RecordsPerSec: 8e5, AllocsPerRecord: 0},
 		Serve:         serveStats{RequestsPerSec: 5000, P50Micros: 200, P99Micros: 900, MeanBatch: 3},
 		ServeExport:   &serveStats{RequestsPerSec: 4900, P50Micros: 210, P99Micros: 950, MeanBatch: 3},
+		Runtime:       &runtimeStats{GCPauseP99Micros: 120, AllocsPerOp: 0.1, HeapInuseBytes: 1 << 20, Goroutines: 8},
 	}
 	slower := base
 	slower.Encode.NsPerRecord = 1500 // +50%: must be flagged
@@ -98,6 +113,9 @@ func TestBenchTrend(t *testing.T) {
 	}
 	if !strings.Contains(out, "serve_export.p99_us") {
 		t.Errorf("trend output missing the export-overhead row:\n%s", out)
+	}
+	if !strings.Contains(out, "runtime.gc_pause_p99_us") {
+		t.Errorf("trend output missing the runtime-health row:\n%s", out)
 	}
 	if !strings.Contains(out, "1 metric(s) regressed") {
 		t.Errorf("trend output missing the summary line:\n%s", out)

@@ -12,6 +12,8 @@
 //	        [-quality-window 1024] [-quality-tol 0.05]
 //	        [-otlp-endpoint ""] [-trace-sample 0.01]
 //	        [-slo-target 0.999] [-slo-latency-ms 250]
+//	        [-prof-interval 30s] [-prof-ring 16] [-prof-cpu-ms 250]
+//	        [-prof-baseline ""] [-watchdog=true]
 //	        [-log-format text|json] [-log-level info] [-pprof]
 //	hdserve -demo [-addr :8080] [-dim 10000] [-seed 42]
 //	hdserve -write-demo dep.bin [-dim 10000] [-seed 42]
@@ -47,6 +49,19 @@
 // and shadow-disagreement traces are always kept, plus a -trace-sample
 // fraction of ordinary traffic. Latency histogram buckets carry
 // OpenMetrics exemplars referencing real trace IDs.
+//
+// Continuous profiling: the server profiles itself on a jittered
+// -prof-interval cadence — CPU (a -prof-cpu-ms window), heap, goroutine,
+// and rate-gated mutex/block profiles land in a bounded in-memory ring of
+// -prof-ring gzipped pprof blobs, each tagged with its trigger and the
+// runtime state at capture time. /debug/prof serves the ring index, the
+// top-N CPU table with a delta against the baseline (-prof-baseline or
+// the first capture since boot), and the runtime watchdog states;
+// /debug/prof/{id} downloads a blob `go tool pprof` reads directly.
+// Watchdogs (goroutine high-water/leak, heap-growth slope, GC-pause p99)
+// fire edge-triggered warnings and capture out-of-cycle evidence
+// profiles; -watchdog=false turns them off. hdfe_prof_* and
+// hdfe_runtime_* metric families land in /metrics.
 //
 // SLOs: -slo-target and -slo-latency-ms configure availability and
 // latency objectives with multi-window burn rates (5m/1h fast, 6h/3d
@@ -86,6 +101,7 @@ import (
 	"hdfe/internal/chaos"
 	"hdfe/internal/core"
 	"hdfe/internal/obs"
+	"hdfe/internal/obs/prof"
 	"hdfe/internal/registry"
 	"hdfe/internal/serve"
 	"hdfe/internal/synth"
@@ -134,7 +150,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		sloLatencyMs  = fs.Int("slo-latency-ms", 250, "per-request latency objective in milliseconds for the SLO engine")
 		logFormat     = fs.String("log-format", "text", "structured log format: text or json")
 		logLevel      = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
-		pprofFlag     = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		pprofFlag     = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (context-aware profile/trace handlers)")
+		profInterval  = fs.Duration("prof-interval", prof.DefaultInterval, "continuous-profiling capture cadence (0 disables scheduled captures)")
+		profRing      = fs.Int("prof-ring", prof.DefaultRingSize, "profile capture ring capacity")
+		profCPUMs     = fs.Int("prof-cpu-ms", int(prof.DefaultCPUDuration/time.Millisecond), "CPU profile sampling window per cycle, in milliseconds")
+		profBaseline  = fs.String("prof-baseline", "", "committed pprof CPU profile to delta live captures against (default: first capture since boot)")
+		watchdog      = fs.Bool("watchdog", true, "enable the goroutine/heap/GC-pause runtime watchdogs")
 		demo          = fs.Bool("demo", false, "fit a synthetic Pima M deployment in-process and serve it")
 		writeDemo     = fs.String("write-demo", "", "write the demo deployment to this file and exit")
 		dim           = fs.Int("dim", 0, "demo hypervector dimensionality (0 = 10000)")
@@ -226,6 +247,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		SLOLatency:       time.Duration(*sloLatencyMs) * time.Millisecond,
 		Logger:           logger,
 		EnablePprof:      *pprofFlag,
+		Prof:             profConfig(*profInterval, *profRing, *profCPUMs, *profBaseline, *watchdog),
 	})
 	if *shadowPath != "" {
 		info, err := srv.LoadShadow(*shadowPath, "")
@@ -273,6 +295,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	err = srv.Serve(ctx, ln)
 	logger.Info("drained and stopped", "summary", srv.Metrics().Snapshot().String())
 	return err
+}
+
+// profConfig maps the -prof-* and -watchdog flags onto a prof.Config.
+// On the flag surface 0 means "off" (the natural CLI reading); in
+// prof.Config 0 means "default" and negative means off, so the zero
+// values are translated here.
+func profConfig(interval time.Duration, ring, cpuMs int, baseline string, watchdog bool) prof.Config {
+	cfg := prof.Config{
+		Interval:     interval,
+		CPUDuration:  time.Duration(cpuMs) * time.Millisecond,
+		RingSize:     ring,
+		BaselinePath: baseline,
+	}
+	if interval <= 0 {
+		cfg.Interval = -1
+	}
+	cfg.Watchdog.Disable = !watchdog
+	return cfg
 }
 
 // demoDeployment fits the serving demo model: the synthetic Pima M

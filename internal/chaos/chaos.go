@@ -48,11 +48,17 @@ const (
 	// notice: the export queue is lossy and the worker is off the hot
 	// path, which the trace regression suite asserts.
 	PointExport
+	// PointProf fires in the continuous profiler before each profile
+	// capture — models a capture failure (a concurrent profiler holding
+	// the CPU profile slot, an exhausted ring). Scoring must never
+	// notice: captures run on the profiler's own goroutine and a failed
+	// capture only increments a counter.
+	PointProf
 
 	numPoints
 )
 
-var pointNames = [numPoints]string{"http", "batch", "load", "shadow", "export"}
+var pointNames = [numPoints]string{"http", "batch", "load", "shadow", "export", "prof"}
 
 // String returns the point's spec name.
 func (p Point) String() string {
@@ -69,7 +75,7 @@ func ParsePoint(s string) (Point, error) {
 			return Point(i), nil
 		}
 	}
-	return 0, fmt.Errorf("chaos: unknown injection point %q (want http|batch|load|shadow|export)", s)
+	return 0, fmt.Errorf("chaos: unknown injection point %q (want http|batch|load|shadow|export|prof)", s)
 }
 
 // Fault is one configured failure mode at a Point. Each consultation of
@@ -109,7 +115,7 @@ func New(seed uint64, faults ...Fault) *Injector {
 //
 //	point:key=val,key=val;point:key=val...
 //
-// where point is http|batch|load|shadow|export and keys are p (probability,
+// where point is http|batch|load|shadow|export|prof and keys are p (probability,
 // default 1), delay and jitter (Go durations, default 0), and err (an
 // error message; the consultation fails with it). Example:
 //

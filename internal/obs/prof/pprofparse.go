@@ -1,0 +1,390 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file is a purpose-built reader for the pprof profile.proto format
+// runtime/pprof writes: just enough protobuf wire-format decoding to fold
+// samples into per-function flat/cumulative tables, with no generated
+// code and no dependency beyond the standard library. It understands the
+// fields the aggregator needs (sample types, samples, locations,
+// functions, string table) and skips everything else, so future fields
+// the runtime adds are ignored rather than fatal.
+
+// Profile is a decoded pprof profile reduced to what aggregation needs.
+type Profile struct {
+	// SampleTypes names each per-sample value column (e.g. cpu/nanoseconds,
+	// inuse_space/bytes), in column order.
+	SampleTypes []ValueType
+	// DurationNanos is the profiling window (CPU profiles).
+	DurationNanos int64
+	samples       []sample
+	locations     map[uint64][]uint64 // location id -> function ids, leaf first
+	functions     map[uint64]string   // function id -> name
+}
+
+// ValueType is one sample value column's type/unit pair.
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+type sample struct {
+	locs   []uint64
+	values []int64
+}
+
+// Parse decodes a pprof blob (gzipped, as runtime/pprof writes it, or
+// raw protobuf).
+func Parse(blob []byte) (*Profile, error) {
+	data := blob
+	if len(blob) >= 2 && blob[0] == 0x1f && blob[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(blob))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+		if data, err = io.ReadAll(zr); err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+	}
+	p := &Profile{
+		locations: make(map[uint64][]uint64),
+		functions: make(map[uint64]string),
+	}
+	var (
+		stringTable []string
+		fnNameIdx   = make(map[uint64]int64) // function id -> string-table index
+		rawTypes    []struct{ typ, unit int64 }
+	)
+	err := scanMessage(data, func(field, wire int, v uint64, payload []byte) error {
+		switch field {
+		case 1: // sample_type: ValueType
+			typ, unit, err := parseValueType(payload)
+			if err != nil {
+				return err
+			}
+			rawTypes = append(rawTypes, struct{ typ, unit int64 }{typ, unit})
+		case 2: // sample
+			s, err := parseSample(payload)
+			if err != nil {
+				return err
+			}
+			p.samples = append(p.samples, s)
+		case 4: // location
+			id, fns, err := parseLocation(payload)
+			if err != nil {
+				return err
+			}
+			p.locations[id] = fns
+		case 5: // function
+			id, name, err := parseFunction(payload)
+			if err != nil {
+				return err
+			}
+			fnNameIdx[id] = name
+		case 6: // string_table
+			stringTable = append(stringTable, string(payload))
+		case 10: // duration_nanos
+			p.DurationNanos = int64(v)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Resolve string-table indices now that the table is complete (the
+	// table legally appears after its referents in the stream).
+	str := func(i uint64) string {
+		if i < uint64(len(stringTable)) {
+			return stringTable[i]
+		}
+		return ""
+	}
+	for id, idx := range fnNameIdx {
+		p.functions[id] = str(uint64(idx))
+	}
+	for _, rt := range rawTypes {
+		p.SampleTypes = append(p.SampleTypes, ValueType{Type: str(uint64(rt.typ)), Unit: str(uint64(rt.unit))})
+	}
+	return p, nil
+}
+
+// scanMessage walks one protobuf message, calling fn for every field.
+// For wire type 0 (varint) v carries the value; for wire type 2
+// (length-delimited) payload carries the bytes.
+func scanMessage(b []byte, fn func(field, wire int, v uint64, payload []byte) error) error {
+	for len(b) > 0 {
+		key, n := binary.Uvarint(b)
+		if n <= 0 {
+			return fmt.Errorf("prof: bad field key")
+		}
+		b = b[n:]
+		field, wire := int(key>>3), int(key&7)
+		var (
+			v       uint64
+			payload []byte
+		)
+		switch wire {
+		case 0:
+			v, n = binary.Uvarint(b)
+			if n <= 0 {
+				return fmt.Errorf("prof: bad varint in field %d", field)
+			}
+			b = b[n:]
+		case 1:
+			if len(b) < 8 {
+				return fmt.Errorf("prof: truncated fixed64 in field %d", field)
+			}
+			v = binary.LittleEndian.Uint64(b)
+			b = b[8:]
+		case 2:
+			ln, n := binary.Uvarint(b)
+			if n <= 0 || uint64(len(b)-n) < ln {
+				return fmt.Errorf("prof: truncated bytes in field %d", field)
+			}
+			payload = b[n : n+int(ln)]
+			b = b[n+int(ln):]
+		case 5:
+			if len(b) < 4 {
+				return fmt.Errorf("prof: truncated fixed32 in field %d", field)
+			}
+			v = uint64(binary.LittleEndian.Uint32(b))
+			b = b[4:]
+		default:
+			return fmt.Errorf("prof: unsupported wire type %d in field %d", wire, field)
+		}
+		if err := fn(field, wire, v, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// unpackVarints decodes a packed repeated varint payload.
+func unpackVarints(payload []byte) ([]uint64, error) {
+	var out []uint64
+	for len(payload) > 0 {
+		v, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return nil, fmt.Errorf("prof: bad packed varint")
+		}
+		out = append(out, v)
+		payload = payload[n:]
+	}
+	return out, nil
+}
+
+func parseValueType(b []byte) (typ, unit int64, err error) {
+	err = scanMessage(b, func(field, wire int, v uint64, payload []byte) error {
+		switch field {
+		case 1:
+			typ = int64(v)
+		case 2:
+			unit = int64(v)
+		}
+		return nil
+	})
+	return typ, unit, err
+}
+
+func parseSample(b []byte) (sample, error) {
+	var s sample
+	err := scanMessage(b, func(field, wire int, v uint64, payload []byte) error {
+		switch field {
+		case 1: // location_id, packed or singular
+			if wire == 2 {
+				ids, err := unpackVarints(payload)
+				if err != nil {
+					return err
+				}
+				s.locs = append(s.locs, ids...)
+			} else {
+				s.locs = append(s.locs, v)
+			}
+		case 2: // value, packed or singular
+			if wire == 2 {
+				vals, err := unpackVarints(payload)
+				if err != nil {
+					return err
+				}
+				for _, u := range vals {
+					s.values = append(s.values, int64(u))
+				}
+			} else {
+				s.values = append(s.values, int64(v))
+			}
+		}
+		return nil
+	})
+	return s, err
+}
+
+func parseLocation(b []byte) (id uint64, fns []uint64, err error) {
+	err = scanMessage(b, func(field, wire int, v uint64, payload []byte) error {
+		switch field {
+		case 1:
+			id = v
+		case 4: // line: leaf-first for inlined frames
+			var fn uint64
+			if err := scanMessage(payload, func(field, wire int, v uint64, payload []byte) error {
+				if field == 1 {
+					fn = v
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			if fn != 0 {
+				fns = append(fns, fn)
+			}
+		}
+		return nil
+	})
+	return id, fns, err
+}
+
+func parseFunction(b []byte) (id uint64, name int64, err error) {
+	err = scanMessage(b, func(field, wire int, v uint64, payload []byte) error {
+		switch field {
+		case 1:
+			id = v
+		case 2:
+			name = int64(v)
+		}
+		return nil
+	})
+	return id, name, err
+}
+
+// ValueIndex resolves a sample-type name (e.g. "cpu", "inuse_space") to
+// its value-column index, falling back to the last column — pprof's
+// default sample type — when the name is absent or empty.
+func (p *Profile) ValueIndex(sampleType string) int {
+	for i, st := range p.SampleTypes {
+		if st.Type == sampleType {
+			return i
+		}
+	}
+	return len(p.SampleTypes) - 1
+}
+
+// TopEntry is one function's aggregated weight in a profile. Flat is the
+// value attributed to the function itself (leaf frames); Cum includes
+// every sample the function appears anywhere in. FlatFrac is Flat over
+// the profile total.
+type TopEntry struct {
+	Func     string  `json:"func"`
+	Flat     int64   `json:"flat"`
+	Cum      int64   `json:"cum"`
+	FlatFrac float64 `json:"flat_frac"`
+}
+
+// Top folds the profile's samples into per-function flat/cumulative
+// totals for the named sample type and returns the n heaviest functions
+// by flat weight (ties broken by name for determinism).
+func (p *Profile) Top(sampleType string, n int) []TopEntry {
+	if len(p.SampleTypes) == 0 {
+		return nil
+	}
+	idx := p.ValueIndex(sampleType)
+	flat := make(map[string]int64)
+	cum := make(map[string]int64)
+	var total int64
+	seen := make(map[string]bool)
+	for _, s := range p.samples {
+		if idx >= len(s.values) {
+			continue
+		}
+		v := s.values[idx]
+		if v == 0 {
+			continue
+		}
+		total += v
+		leafDone := false
+		clear(seen)
+		for _, loc := range s.locs {
+			for _, fnID := range p.locations[loc] {
+				name := p.functions[fnID]
+				if name == "" {
+					continue
+				}
+				if !leafDone {
+					// Sample locations are leaf-first, and so are a
+					// location's inlined lines: the first named frame is
+					// the leaf.
+					flat[name] += v
+					leafDone = true
+				}
+				if !seen[name] {
+					seen[name] = true
+					cum[name] += v
+				}
+			}
+		}
+	}
+	// cum's keys are a superset of flat's: every function that appears in
+	// any stack, including pure mid-stack callers with zero flat weight.
+	out := make([]TopEntry, 0, len(cum))
+	for name, cv := range cum {
+		e := TopEntry{Func: name, Flat: flat[name], Cum: cv}
+		if total > 0 {
+			e.FlatFrac = float64(e.Flat) / float64(total)
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flat != out[j].Flat {
+			return out[i].Flat > out[j].Flat
+		}
+		return out[i].Func < out[j].Func
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// DeltaEntry compares one function's flat share between a current
+// profile and a baseline. Ratio is current over baseline share; a
+// function absent from the baseline reports Ratio 0 with BaseFrac 0 —
+// "new hot spot", not "infinitely hotter".
+type DeltaEntry struct {
+	Func     string  `json:"func"`
+	Frac     float64 `json:"flat_frac"`
+	BaseFrac float64 `json:"baseline_frac"`
+	Ratio    float64 `json:"ratio"`
+}
+
+// Delta compares the current top table against a baseline top table and
+// returns one entry per current function, ordered by how much hotter it
+// got (largest ratio first, new functions last among the rated).
+func Delta(curr, base []TopEntry) []DeltaEntry {
+	baseFrac := make(map[string]float64, len(base))
+	for _, e := range base {
+		baseFrac[e.Func] = e.FlatFrac
+	}
+	out := make([]DeltaEntry, 0, len(curr))
+	for _, e := range curr {
+		d := DeltaEntry{Func: e.Func, Frac: e.FlatFrac, BaseFrac: baseFrac[e.Func]}
+		if d.BaseFrac > 0 {
+			d.Ratio = d.Frac / d.BaseFrac
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ratio != out[j].Ratio {
+			return out[i].Ratio > out[j].Ratio
+		}
+		return out[i].Frac > out[j].Frac
+	})
+	return out
+}

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"runtime/trace"
+	"strconv"
+	"strings"
+	"time"
+
+	"hdfe/internal/obs/prof"
+)
+
+// profTopN is how many functions the /debug/prof top table carries.
+const profTopN = 20
+
+// maxPprofSeconds caps client-requested CPU/trace capture windows so a
+// typo'd ?seconds= cannot pin the profiler for hours.
+const maxPprofSeconds = 120
+
+// handleProfIndex serves the continuous-profiling state as JSON: the
+// effective configuration, the capture ring (newest first, each entry
+// downloadable at /debug/prof/{id}), the watchdog states, and the top-N
+// CPU table with its delta against the baseline profile.
+func (s *Server) handleProfIndex(w http.ResponseWriter, r *http.Request) {
+	type topBlock struct {
+		CaptureID uint64            `json:"capture_id,omitempty"`
+		Top       []prof.TopEntry   `json:"top,omitempty"`
+		Delta     []prof.DeltaEntry `json:"delta_vs_baseline,omitempty"`
+		Err       string            `json:"error,omitempty"`
+	}
+	id, top, delta, err := s.profiler.TopCPU(profTopN)
+	tb := topBlock{CaptureID: id, Top: top, Delta: delta}
+	if err != nil {
+		tb.Err = err.Error()
+	}
+	intervalMs := s.profiler.Interval().Milliseconds()
+	if s.profiler.Interval() < 0 {
+		intervalMs = -1 // scheduled captures off
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"profiling": map[string]any{
+			"interval_ms":     intervalMs,
+			"cpu_duration_ms": s.profiler.CPUDuration().Milliseconds(),
+			"captures": map[string]uint64{
+				prof.KindCPU:       s.profiler.CapturesTotal(prof.KindCPU),
+				prof.KindHeap:      s.profiler.CapturesTotal(prof.KindHeap),
+				prof.KindGoroutine: s.profiler.CapturesTotal(prof.KindGoroutine),
+				prof.KindMutex:     s.profiler.CapturesTotal(prof.KindMutex),
+				prof.KindBlock:     s.profiler.CapturesTotal(prof.KindBlock),
+			},
+			"failures": s.profiler.Failures(),
+		},
+		"captures":  s.profiler.Ring().List(),
+		"watchdogs": s.profiler.WatchdogStates(),
+		"top_cpu":   tb,
+	})
+}
+
+// handleProfDownload serves one ring capture as the gzipped pprof blob
+// runtime/pprof wrote — `go tool pprof` reads the download directly.
+func (s *Server) handleProfDownload(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/debug/prof/")
+	id, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad capture id: want /debug/prof/{id}"})
+		return
+	}
+	c, ok := s.profiler.Ring().Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("capture %d not in ring (evicted or never taken)", id)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf(`attachment; filename="%s-%d.pb.gz"`, c.Meta.Kind, c.Meta.ID))
+	_, _ = w.Write(c.Blob)
+}
+
+// pprofSeconds parses the stdlib-compatible ?seconds= parameter.
+func pprofSeconds(r *http.Request, def float64) (time.Duration, error) {
+	q := r.URL.Query().Get("seconds")
+	sec := def
+	if q != "" {
+		v, err := strconv.ParseFloat(q, 64)
+		if err != nil || v <= 0 {
+			return 0, fmt.Errorf("bad seconds parameter %q", q)
+		}
+		sec = v
+	}
+	if sec > maxPprofSeconds {
+		sec = maxPprofSeconds
+	}
+	return time.Duration(sec * float64(time.Second)), nil
+}
+
+// handlePprofProfile is the context-aware replacement for
+// net/http/pprof.Profile: the capture runs through the continuous
+// profiler (which serializes the process-wide CPU profile slot) and is
+// bounded by the request context, so a client that hangs up stops the
+// capture instead of leaving it running for the full window. Successful
+// downloads also land in the ring, like any other capture.
+func (s *Server) handlePprofProfile(w http.ResponseWriter, r *http.Request) {
+	d, err := pprofSeconds(r, 30)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	c, err := s.profiler.CaptureCPUBlob(r.Context(), d, prof.TriggerHTTP)
+	if err != nil {
+		// Cancelled client or a concurrent capture holding the slot.
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "could not capture CPU profile: " + err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="profile.pb.gz"`)
+	_, _ = w.Write(c.Blob)
+}
+
+// handlePprofTrace is the context-aware replacement for
+// net/http/pprof.Trace. The trace streams straight to the client; a
+// cancelled request stops tracing at the moment of disconnect.
+func (s *Server) handlePprofTrace(w http.ResponseWriter, r *http.Request) {
+	d, err := pprofSeconds(r, 1)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="trace.out"`)
+	if err := trace.Start(w); err != nil {
+		// Tracing already active (another download in flight).
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "could not start trace: " + err.Error()})
+		return
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-r.Context().Done():
+	case <-timer.C:
+	}
+	trace.Stop()
+}

@@ -100,6 +100,14 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 	s.promTracing(p)
 	s.promSLO(p)
 
+	// Continuous profiling counters, then the runtime/metrics families.
+	// The runtime collector is owned by the scrape path (the watchdog loop
+	// keeps its own), serialized across concurrent scrapes.
+	s.profiler.WriteProm(p)
+	s.rtMu.Lock()
+	s.rtColl.WriteProm(p)
+	s.rtMu.Unlock()
+
 	p.GoRuntime()
 	if err := p.Err(); err != nil {
 		s.logger.Warn("metrics exposition failed", "err", err)

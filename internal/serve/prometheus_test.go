@@ -35,11 +35,24 @@ var promFamilies = []string{
 	"hdfe_drift_rows_observed_total counter",
 	"hdfe_drift_score_margin_mean gauge",
 	"hdfe_feedback_unmatched_total counter",
+	"hdfe_prof_capture_failures_total counter",
+	"hdfe_prof_captures_total counter",
+	"hdfe_prof_ring_captures gauge",
+	"hdfe_prof_watchdog_firing gauge",
+	"hdfe_prof_watchdog_triggers_total counter",
 	"hdfe_quality_accuracy gauge",
 	"hdfe_quality_baseline_accuracy gauge",
 	"hdfe_quality_canary_healthy gauge",
 	"hdfe_quality_f1 gauge",
 	"hdfe_quality_labels_total counter",
+	"hdfe_runtime_gc_cycles_total counter",
+	"hdfe_runtime_gc_pauses_seconds histogram",
+	"hdfe_runtime_goroutines gauge",
+	"hdfe_runtime_heap_goal_bytes gauge",
+	"hdfe_runtime_heap_inuse_bytes gauge",
+	"hdfe_runtime_mem_total_bytes gauge",
+	"hdfe_runtime_mutex_wait_seconds_total counter",
+	"hdfe_runtime_sched_latencies_seconds histogram",
 	"hdfe_shed_total counter",
 	"hdfe_slo_burn_rate gauge",
 	"hdfe_slo_compliance gauge",

@@ -10,12 +10,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
 	"time"
 
 	"hdfe/internal/chaos"
 	"hdfe/internal/core"
 	"hdfe/internal/obs"
 	"hdfe/internal/obs/export"
+	"hdfe/internal/obs/prof"
 	"hdfe/internal/obs/slo"
 	"hdfe/internal/registry"
 )
@@ -125,8 +127,17 @@ type Config struct {
 	// SLOLatency is the per-request latency objective the SLO engine
 	// holds responses to (default 250ms).
 	SLOLatency time.Duration
-	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. The profile
+	// and trace endpoints are served by context-aware replacements routed
+	// through the continuous profiler, so a cancelled download stops the
+	// capture instead of running its full window.
 	EnablePprof bool
+	// Prof tunes the continuous profiler and runtime watchdogs (see
+	// internal/obs/prof). The profiler is always on; Prof.Interval < 0
+	// disables scheduled captures and Prof.Watchdog.Disable turns the
+	// watchdogs off. Seed, Logger, Chaos, and the model-version stamp
+	// default to the server's own.
+	Prof prof.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -212,6 +223,9 @@ type Server struct {
 	exporter *export.Exporter // nil without an OTLPEndpoint
 	sampler  *export.Sampler
 	slo      *slo.Engine
+	profiler *prof.Profiler
+	rtMu     sync.Mutex // serializes rtColl across concurrent scrapes
+	rtColl   *prof.Collector
 	logger   *slog.Logger
 	mux      *http.ServeMux
 }
@@ -262,6 +276,25 @@ func New(sc core.Scorer, cfg Config) *Server {
 	// Adopt and promote the boot model before the batcher starts: the
 	// batch loop assumes the active slot is never empty.
 	s.reg.Promote(s.adopt(sc, cfg.ModelName, cfg.ModelPath, cfg.ModelSHA256))
+	// The continuous profiler inherits the server's seed, logger, and
+	// chaos seam unless the caller overrode them, and stamps captures with
+	// the live registry version so a hot-spot shift ties to a hot-swap.
+	pc := cfg.Prof
+	if pc.Seed == 0 {
+		pc.Seed = cfg.TraceSeed
+	}
+	if pc.Logger == nil {
+		pc.Logger = cfg.Logger
+	}
+	if pc.Chaos == nil {
+		pc.Chaos = cfg.Chaos
+	}
+	if pc.Version == nil {
+		pc.Version = func() uint64 { return s.reg.Active().Info().Version }
+	}
+	s.profiler = prof.New(pc)
+	s.rtColl = prof.NewCollector()
+	s.profiler.Start()
 	s.adm = newAdmission(cfg.MaxInFlight, cfg.RetryAfter)
 	s.shadow = newShadowScorer(s.reg, cfg.ShadowQueue, cfg.RequestTimeout, cfg.Chaos, s.exporter)
 	s.batcher = newBatcher(s.reg, cfg.MaxBatch, cfg.MaxWait, cfg.QueueDepth, m, s.shadow, cfg.Chaos)
@@ -276,15 +309,24 @@ func New(sc core.Scorer, cfg Config) *Server {
 	s.mux.HandleFunc("/debug/traces", readOnly(s.handleTraces))
 	s.mux.HandleFunc("/debug/slo", readOnly(s.handleSLO))
 	s.mux.HandleFunc("/debug/drift", readOnly(s.handleDriftDebug))
+	s.mux.HandleFunc("/debug/prof", readOnly(s.handleProfIndex))
+	s.mux.HandleFunc("/debug/prof/", readOnly(s.handleProfDownload))
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		// profile and trace go through context-aware replacements: the
+		// stdlib handlers run their full sampling window even after the
+		// client hangs up, and a stdlib CPU capture would collide with the
+		// scheduled profiler's (the runtime allows one at a time).
+		s.mux.HandleFunc("/debug/pprof/profile", s.handlePprofProfile)
+		s.mux.HandleFunc("/debug/pprof/trace", s.handlePprofTrace)
 	}
 	return s
 }
+
+// Profiler exposes the continuous profiler (tests and embedding).
+func (s *Server) Profiler() *prof.Profiler { return s.profiler }
 
 // Handler returns the routing handler (for httptest and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -300,6 +342,9 @@ func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 // disagreement spans while draining). Call after the HTTP listener has
 // stopped accepting requests (Serve does this in order).
 func (s *Server) Close() {
+	// Profiler first: it interrupts any in-flight capture immediately and
+	// restores the process-global mutex/block profiling rates.
+	s.profiler.Close()
 	s.batcher.Close()
 	s.shadow.close()
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)

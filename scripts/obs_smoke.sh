@@ -73,6 +73,14 @@ for name in \
     hdfe_slo_target \
     hdfe_slo_burn_rate \
     hdfe_slo_state \
+    hdfe_prof_captures_total \
+    hdfe_prof_capture_failures_total \
+    hdfe_prof_ring_captures \
+    hdfe_prof_watchdog_firing \
+    hdfe_runtime_goroutines \
+    hdfe_runtime_heap_inuse_bytes \
+    hdfe_runtime_gc_pauses_seconds_bucket \
+    hdfe_runtime_sched_latencies_seconds_bucket \
     go_goroutines; do
     if ! grep -q "^$name" "$TMP/metrics.txt"; then
         echo "obs-smoke: /metrics missing $name" >&2
