@@ -6,12 +6,14 @@
 # `make trace-smoke` adds a mock OTLP collector and asserts the W3C
 # traceparent round trip, span export, exemplars, and /debug/slo;
 # `make prof-smoke` drives batch load against a fast profiling cadence
-# and asserts the capture ring, pprof downloads, and runtime families.
+# and asserts the capture ring, pprof downloads, and runtime families;
+# `make audit-smoke` serves with the decision audit trail on, then
+# verifies and replays the hash chain offline with hdaudit.
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all fmt vet test test-race fuzz-smoke bench obs-smoke trace-smoke prof-smoke cover cover-baseline
+.PHONY: all fmt vet test test-race fuzz-smoke bench obs-smoke trace-smoke prof-smoke audit-smoke cover cover-baseline
 
 all: fmt vet test
 
@@ -47,6 +49,9 @@ trace-smoke:
 
 prof-smoke:
 	sh scripts/prof_smoke.sh
+
+audit-smoke:
+	sh scripts/audit_smoke.sh
 
 # Per-package coverage gate: fails only when a package drops more than
 # 2 points below scripts/coverage_baseline.txt. Refresh the baseline

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -18,6 +19,7 @@ import (
 
 	"hdfe/internal/core"
 	"hdfe/internal/hv"
+	"hdfe/internal/obs/audit"
 	"hdfe/internal/obs/prof"
 	"hdfe/internal/serve"
 	"hdfe/internal/synth"
@@ -50,6 +52,17 @@ type serveStats struct {
 	MeanBatch      float64 `json:"mean_batch"`
 }
 
+// auditStats is the decision-audit overhead row: the per-record scoring
+// cost with the audit trail off and on (score + wide-event construction
+// + lossy enqueue into a live writer), plus the delta. The On pass pays
+// the event's input copy and sha256 digest, so this row is the budget a
+// deployment spends per decision for a tamper-evident trail.
+type auditStats struct {
+	Off                 stageStats `json:"off"`
+	On                  stageStats `json:"on"`
+	OverheadNsPerRecord float64    `json:"overhead_ns_per_record"`
+}
+
 // runtimeStats captures the runtime's health after a steady-state encode
 // loop: GC pause tail over the loop's window, allocation rate, and the
 // resident heap once the encode pools are warm. Ties a latency
@@ -80,6 +93,9 @@ type benchReport struct {
 	// encode loop. Pointer + omitempty, like ServeExport, keeps the
 	// addition schema-v1-compatible.
 	Runtime *runtimeStats `json:"runtime,omitempty"`
+	// ServeAudit is the audit-trail overhead row, schema-additive like
+	// the two above.
+	ServeAudit *auditStats `json:"serve_audit,omitempty"`
 }
 
 // runBenchJSON measures the three hot paths (record encode, batch
@@ -150,6 +166,14 @@ func runBenchJSON(dim int, seed uint64, quick bool, jsonOut string, stdout io.Wr
 	// uses.
 	rt := measureRuntime(dep, d.X, quick)
 	rep.Runtime = &rt
+
+	// Audit overhead: the same single-record scoring loop with and
+	// without a live audit writer taking one wide event per decision.
+	ab, err := benchAudit(dep, d.X, quick)
+	if err != nil {
+		return err
+	}
+	rep.ServeAudit = &ab
 
 	if jsonOut == "" {
 		if jsonOut, err = nextBenchPath("."); err != nil {
@@ -224,6 +248,50 @@ func measureRuntime(dep *core.Deployment, X [][]float64, quick bool) runtimeStat
 		HeapInuseBytes:   after.HeapInuseBytes,
 		Goroutines:       after.Goroutines,
 	}
+}
+
+// benchAudit measures the audit trail's per-decision overhead: a plain
+// Score pass, then Score plus the full event construction (input copy,
+// sha256 digest, Float64bits) and a lossy Enqueue into a writer backed
+// by a throwaway directory. A generous queue keeps drops out of the
+// measurement — the row prices the hot-path work, not disk speed.
+func benchAudit(dep *core.Deployment, X [][]float64, quick bool) (auditStats, error) {
+	passes := 10
+	if quick {
+		passes = 2
+	}
+	var st auditStats
+	st.Off = timeStage(passes, len(X), func() {
+		for _, row := range X {
+			dep.Score(row)
+		}
+	})
+	dir, err := os.MkdirTemp("", "hdbench-audit-*")
+	if err != nil {
+		return st, err
+	}
+	defer os.RemoveAll(dir)
+	l, err := audit.Open(audit.Config{Dir: dir, QueueSize: 1 << 16})
+	if err != nil {
+		return st, err
+	}
+	st.On = timeStage(passes, len(X), func() {
+		for _, row := range X {
+			score := dep.Score(row)
+			l.Enqueue(audit.Event{
+				Route:        "score",
+				Outcome:      audit.OutcomeScored,
+				ModelVersion: 1,
+				Inputs:       audit.Inputs(row),
+				InputsSHA256: audit.InputsDigest(row),
+				Score:        score,
+				ScoreBits:    math.Float64bits(score),
+			})
+		}
+	})
+	l.Close()
+	st.OverheadNsPerRecord = st.On.NsPerRecord - st.Off.NsPerRecord
+	return st, nil
 }
 
 // benchServe drives concurrent scoring requests through an httptest
@@ -391,6 +459,13 @@ func runBenchTrend(prevPath, latestPath string, stdout io.Writer) error {
 			trendRow{"runtime.gc_pause_p99_us", prev.Runtime.GCPauseP99Micros, latest.Runtime.GCPauseP99Micros, true},
 			trendRow{"runtime.allocs_per_op", prev.Runtime.AllocsPerOp, latest.Runtime.AllocsPerOp, true},
 			trendRow{"runtime.heap_inuse_bytes", float64(prev.Runtime.HeapInuseBytes), float64(latest.Runtime.HeapInuseBytes), true},
+		)
+	}
+	// And the audit-overhead row.
+	if prev.ServeAudit != nil && latest.ServeAudit != nil {
+		rows = append(rows,
+			trendRow{"serve_audit.overhead_ns_per_record", prev.ServeAudit.OverheadNsPerRecord, latest.ServeAudit.OverheadNsPerRecord, true},
+			trendRow{"serve_audit.on.allocs_per_record", prev.ServeAudit.On.AllocsPerRecord, latest.ServeAudit.On.AllocsPerRecord, true},
 		)
 	}
 	fmt.Fprintf(stdout, "benchmark trend: %s -> %s\n", filepath.Base(prevPath), filepath.Base(latestPath))

@@ -67,6 +67,17 @@ func TestBenchJSONRoundTrip(t *testing.T) {
 	if rep.Runtime.GCPauseP99Micros < 0 {
 		t.Errorf("negative gc pause p99 %v", rep.Runtime.GCPauseP99Micros)
 	}
+	if rep.ServeAudit == nil {
+		t.Fatal("report missing the serve_audit overhead row")
+	}
+	if rep.ServeAudit.Off.NsPerRecord <= 0 || rep.ServeAudit.On.NsPerRecord <= 0 {
+		t.Errorf("serve_audit stats %+v", *rep.ServeAudit)
+	}
+	// The audited pass does strictly more work per record; on a noisy
+	// runner the delta can wobble, but the field must be self-consistent.
+	if got := rep.ServeAudit.On.NsPerRecord - rep.ServeAudit.Off.NsPerRecord; got != rep.ServeAudit.OverheadNsPerRecord {
+		t.Errorf("overhead %v != on-off %v", rep.ServeAudit.OverheadNsPerRecord, got)
+	}
 }
 
 // TestBenchTrend diffs two synthetic reports and checks regressions are
@@ -93,6 +104,11 @@ func TestBenchTrend(t *testing.T) {
 		Serve:         serveStats{RequestsPerSec: 5000, P50Micros: 200, P99Micros: 900, MeanBatch: 3},
 		ServeExport:   &serveStats{RequestsPerSec: 4900, P50Micros: 210, P99Micros: 950, MeanBatch: 3},
 		Runtime:       &runtimeStats{GCPauseP99Micros: 120, AllocsPerOp: 0.1, HeapInuseBytes: 1 << 20, Goroutines: 8},
+		ServeAudit: &auditStats{
+			Off:                 stageStats{NsPerRecord: 1100, RecordsPerSec: 9e5},
+			On:                  stageStats{NsPerRecord: 1600, RecordsPerSec: 6e5, AllocsPerRecord: 4},
+			OverheadNsPerRecord: 500,
+		},
 	}
 	slower := base
 	slower.Encode.NsPerRecord = 1500 // +50%: must be flagged
@@ -116,6 +132,9 @@ func TestBenchTrend(t *testing.T) {
 	}
 	if !strings.Contains(out, "runtime.gc_pause_p99_us") {
 		t.Errorf("trend output missing the runtime-health row:\n%s", out)
+	}
+	if !strings.Contains(out, "serve_audit.overhead_ns_per_record") {
+		t.Errorf("trend output missing the audit-overhead row:\n%s", out)
 	}
 	if !strings.Contains(out, "1 metric(s) regressed") {
 		t.Errorf("trend output missing the summary line:\n%s", out)

@@ -14,6 +14,8 @@
 //	        [-slo-target 0.999] [-slo-latency-ms 250]
 //	        [-prof-interval 30s] [-prof-ring 16] [-prof-cpu-ms 250]
 //	        [-prof-baseline ""] [-watchdog=true]
+//	        [-audit-dir ""] [-audit-max-bytes 8388608] [-audit-fsync none]
+//	        [-audit-queue 4096] [-audit-ring 64]
 //	        [-log-format text|json] [-log-level info] [-pprof]
 //	hdserve -demo [-addr :8080] [-dim 10000] [-seed 42]
 //	hdserve -write-demo dep.bin [-dim 10000] [-seed 42]
@@ -63,6 +65,18 @@
 // profiles; -watchdog=false turns them off. hdfe_prof_* and
 // hdfe_runtime_* metric families land in /metrics.
 //
+// Decision audit: -audit-dir enables the hash-chained audit trail
+// (internal/obs/audit) — one tamper-evident wide event per
+// score/shed/error/feedback/model-swap decision, written through a
+// bounded lossy queue that never blocks scoring, with size-based
+// segment rotation (-audit-max-bytes), a configurable fsync policy
+// (-audit-fsync none|always|<duration>), and torn-tail recovery on
+// restart. `?explain=k` on /v1/score adds the top-k per-feature
+// explain contributions to the response and the audit event.
+// /debug/audit serves writer state plus a recent-events ring;
+// hdfe_audit_* families land in /metrics. Verify and replay the trail
+// offline with the hdaudit tool.
+//
 // SLOs: -slo-target and -slo-latency-ms configure availability and
 // latency objectives with multi-window burn rates (5m/1h fast, 6h/3d
 // slow), served at /debug/slo, exported as hdfe_slo_* families, and
@@ -101,6 +115,7 @@ import (
 	"hdfe/internal/chaos"
 	"hdfe/internal/core"
 	"hdfe/internal/obs"
+	"hdfe/internal/obs/audit"
 	"hdfe/internal/obs/prof"
 	"hdfe/internal/registry"
 	"hdfe/internal/serve"
@@ -156,6 +171,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		profCPUMs     = fs.Int("prof-cpu-ms", int(prof.DefaultCPUDuration/time.Millisecond), "CPU profile sampling window per cycle, in milliseconds")
 		profBaseline  = fs.String("prof-baseline", "", "committed pprof CPU profile to delta live captures against (default: first capture since boot)")
 		watchdog      = fs.Bool("watchdog", true, "enable the goroutine/heap/GC-pause runtime watchdogs")
+		auditDir      = fs.String("audit-dir", "", "directory for the hash-chained decision audit log (empty disables auditing)")
+		auditMaxBytes = fs.Int64("audit-max-bytes", 8<<20, "audit segment size before rotation")
+		auditFsync    = fs.String("audit-fsync", "none", "audit fsync policy: none, always, or an interval duration like 250ms")
+		auditQueue    = fs.Int("audit-queue", 4096, "audit event queue capacity (overflow is dropped, never blocks scoring)")
+		auditRing     = fs.Int("audit-ring", 64, "recent audit events kept for /debug/audit")
 		demo          = fs.Bool("demo", false, "fit a synthetic Pima M deployment in-process and serve it")
 		writeDemo     = fs.String("write-demo", "", "write the demo deployment to this file and exit")
 		dim           = fs.Int("dim", 0, "demo hypervector dimensionality (0 = 10000)")
@@ -222,6 +242,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return errors.New("-model is required (or use -demo)")
 	}
 
+	var auditLog *audit.Log
+	if *auditDir != "" {
+		policy, every, err := audit.ParseFsync(*auditFsync)
+		if err != nil {
+			return err
+		}
+		auditLog, err = audit.Open(audit.Config{
+			Dir:        *auditDir,
+			MaxBytes:   *auditMaxBytes,
+			QueueSize:  *auditQueue,
+			Fsync:      policy,
+			FsyncEvery: every,
+			RingSize:   *auditRing,
+			Chaos:      injector,
+			Logger:     logger,
+		})
+		if err != nil {
+			return err
+		}
+		logger.Info("audit trail enabled",
+			"dir", *auditDir, "fsync", *auditFsync,
+			"resumed_seq", auditLog.LastSeq())
+	}
+
 	srv := serve.New(dep, serve.Config{
 		ModelName:        modelName,
 		ModelPath:        *model,
@@ -248,6 +292,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		Logger:           logger,
 		EnablePprof:      *pprofFlag,
 		Prof:             profConfig(*profInterval, *profRing, *profCPUMs, *profBaseline, *watchdog),
+		Audit:            auditLog,
 	})
 	if *shadowPath != "" {
 		info, err := srv.LoadShadow(*shadowPath, "")

@@ -54,11 +54,17 @@ const (
 	// notice: captures run on the profiler's own goroutine and a failed
 	// capture only increments a counter.
 	PointProf
+	// PointAudit fires in the audit-log worker before each event is
+	// written — models a failing or stalled disk under the decision log.
+	// Scoring must never notice: the audit queue is lossy and writes
+	// happen on the worker goroutine; a failed write only drops the
+	// event and increments hdfe_audit_dropped_total.
+	PointAudit
 
 	numPoints
 )
 
-var pointNames = [numPoints]string{"http", "batch", "load", "shadow", "export", "prof"}
+var pointNames = [numPoints]string{"http", "batch", "load", "shadow", "export", "prof", "audit"}
 
 // String returns the point's spec name.
 func (p Point) String() string {
@@ -75,7 +81,7 @@ func ParsePoint(s string) (Point, error) {
 			return Point(i), nil
 		}
 	}
-	return 0, fmt.Errorf("chaos: unknown injection point %q (want http|batch|load|shadow|export|prof)", s)
+	return 0, fmt.Errorf("chaos: unknown injection point %q (want http|batch|load|shadow|export|prof|audit)", s)
 }
 
 // Fault is one configured failure mode at a Point. Each consultation of
@@ -115,7 +121,7 @@ func New(seed uint64, faults ...Fault) *Injector {
 //
 //	point:key=val,key=val;point:key=val...
 //
-// where point is http|batch|load|shadow|export|prof and keys are p (probability,
+// where point is http|batch|load|shadow|export|prof|audit and keys are p (probability,
 // default 1), delay and jitter (Go durations, default 0), and err (an
 // error message; the consultation fails with it). Example:
 //

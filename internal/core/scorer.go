@@ -36,6 +36,10 @@ type Scorer interface {
 	// DriftRef is the training-time drift reference, or nil when the
 	// model carries none (input-drift monitoring is then disabled).
 	DriftRef() *drift.Reference
+	// Explain decomposes one record into per-feature codeword
+	// similarities (ExplainRecord), sorted most-aligned first. It is an
+	// on-demand path: callers pay its cost only for requests that ask.
+	Explain(row []float64) []FeatureContribution
 }
 
 var _ Scorer = (*Deployment)(nil)
@@ -55,3 +59,8 @@ func (d *Deployment) Options() Options { return d.Extractor.Options() }
 // DriftRef returns the training-time drift reference (nil for pre-v2
 // artifacts).
 func (d *Deployment) DriftRef() *drift.Reference { return d.Ref }
+
+// Explain returns the per-feature contributions for one record.
+func (d *Deployment) Explain(row []float64) []FeatureContribution {
+	return d.Extractor.ExplainRecord(row)
+}

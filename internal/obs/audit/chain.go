@@ -1,0 +1,296 @@
+// Chain plumbing for the audit log: the line envelope and hash, the
+// on-disk segment layout, tail recovery, full-chain verification, and
+// bit-exact replay against a deployment artifact.
+
+package audit
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// envelope is one JSONL line: the event's exact bytes plus the chain
+// hashes. Keeping E as raw bytes means the hash covers what was
+// actually written, with no re-marshal ambiguity on verify.
+type envelope struct {
+	E json.RawMessage `json:"e"`
+	P string          `json:"p"`
+	H string          `json:"h"`
+}
+
+// chainHash links one line to its predecessor:
+// hex(sha256(prevHashHex || eventBytes)). The genesis line uses "".
+func chainHash(prev string, payload []byte) string {
+	h := sha256.New()
+	io.WriteString(h, prev)
+	h.Write(payload)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// InputsDigest hashes a validated row's exact bit patterns:
+// sha256 over each value's little-endian Float64bits, NaNs included.
+func InputsDigest(row []float64) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, v := range row {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// segment layout: Dir/audit-NNNNNN.jsonl, rotation bumps NNNNNN.
+const (
+	segPrefix = "audit-"
+	segSuffix = ".jsonl"
+)
+
+func segPath(dir string, idx int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%06d%s", segPrefix, idx, segSuffix))
+}
+
+type segment struct {
+	index int
+	path  string
+}
+
+// segments lists a directory's audit segments in chain order.
+func segments(dir string) ([]segment, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("audit: %v", err)
+	}
+	var segs []segment
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || len(name) != len(segPrefix)+6+len(segSuffix) ||
+			name[:len(segPrefix)] != segPrefix || name[len(name)-len(segSuffix):] != segSuffix {
+			continue
+		}
+		idx := 0
+		if _, err := fmt.Sscanf(name[len(segPrefix):len(name)-len(segSuffix)], "%d", &idx); err != nil || idx <= 0 {
+			continue
+		}
+		segs = append(segs, segment{index: idx, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
+	return segs, nil
+}
+
+// tailState is what scanTail learned about a segment: how far into the
+// file the durable prefix runs and where the chain ends inside it.
+type tailState struct {
+	events    int
+	lastSeq   uint64
+	lastHash  string
+	validSize int64
+}
+
+// scanTail walks a segment line by line and stops at the first line
+// that is torn or fails its own-hash check. Only a newline-terminated
+// line whose h matches sha256(p || e) counts as durable — a complete
+// line missing its newline is treated as torn, because appending after
+// it would fuse two events onto one line.
+func scanTail(path string) (tailState, error) {
+	var t tailState
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return t, fmt.Errorf("audit: %v", err)
+	}
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break
+		}
+		line := data[off : off+nl]
+		var env envelope
+		if err := json.Unmarshal(line, &env); err != nil {
+			break
+		}
+		if chainHash(env.P, env.E) != env.H {
+			break
+		}
+		var ev Event
+		if err := json.Unmarshal(env.E, &ev); err != nil {
+			break
+		}
+		off += nl + 1
+		t.events++
+		t.lastSeq = ev.Seq
+		t.lastHash = env.H
+		t.validSize = int64(off)
+	}
+	return t, nil
+}
+
+// VerifyResult summarizes a verified chain.
+type VerifyResult struct {
+	Segments int            `json:"segments"`
+	Events   int            `json:"events"`
+	LastSeq  uint64         `json:"last_seq"`
+	Head     string         `json:"head"`
+	Outcomes map[string]int `json:"outcomes"`
+}
+
+// Walk verifies the full hash chain across every segment in dir —
+// per-line hashes, prev-hash linkage (across segment boundaries too),
+// and contiguous sequence numbers — calling fn (when non-nil) for each
+// event in order. The first break fails the walk with the segment and
+// line it happened on.
+func Walk(dir string, fn func(Event) error) (VerifyResult, error) {
+	res := VerifyResult{Outcomes: map[string]int{}}
+	segs, err := segments(dir)
+	if err != nil {
+		return res, err
+	}
+	prev := ""
+	var lastSeq uint64
+	for _, sg := range segs {
+		data, err := os.ReadFile(sg.path)
+		if err != nil {
+			return res, fmt.Errorf("audit: %v", err)
+		}
+		off, lineNo := 0, 0
+		for off < len(data) {
+			lineNo++
+			nl := bytes.IndexByte(data[off:], '\n')
+			if nl < 0 {
+				return res, fmt.Errorf("audit: %s line %d: torn line (no newline)", sg.path, lineNo)
+			}
+			line := data[off : off+nl]
+			off += nl + 1
+			var env envelope
+			if err := json.Unmarshal(line, &env); err != nil {
+				return res, fmt.Errorf("audit: %s line %d: bad envelope: %v", sg.path, lineNo, err)
+			}
+			if env.P != prev {
+				return res, fmt.Errorf("audit: %s line %d: chain break: prev %s, want %s", sg.path, lineNo, abbrev(env.P), abbrev(prev))
+			}
+			if got := chainHash(env.P, env.E); got != env.H {
+				return res, fmt.Errorf("audit: %s line %d: hash mismatch: line says %s, computed %s", sg.path, lineNo, abbrev(env.H), abbrev(got))
+			}
+			var ev Event
+			if err := json.Unmarshal(env.E, &ev); err != nil {
+				return res, fmt.Errorf("audit: %s line %d: bad event: %v", sg.path, lineNo, err)
+			}
+			if ev.Seq != lastSeq+1 {
+				return res, fmt.Errorf("audit: %s line %d: seq %d, want %d", sg.path, lineNo, ev.Seq, lastSeq+1)
+			}
+			lastSeq = ev.Seq
+			prev = env.H
+			res.Events++
+			res.LastSeq = ev.Seq
+			res.Head = env.H
+			res.Outcomes[ev.Outcome.String()]++
+			if fn != nil {
+				if err := fn(ev); err != nil {
+					return res, err
+				}
+			}
+		}
+		res.Segments++
+	}
+	return res, nil
+}
+
+// VerifyDir walks the chain in dir and reports it, failing on any break.
+func VerifyDir(dir string) (VerifyResult, error) {
+	return Walk(dir, nil)
+}
+
+func abbrev(h string) string {
+	if h == "" {
+		return `"" (genesis)`
+	}
+	if len(h) > 12 {
+		return h[:12] + "…"
+	}
+	return h
+}
+
+// Scorer is the minimal scoring surface replay needs; *core.Deployment
+// implements it.
+type Scorer interface {
+	Score(row []float64) float64
+}
+
+// Divergence is one audited score the artifact failed to reproduce.
+type Divergence struct {
+	Seq          uint64
+	RequestID    string
+	ModelVersion uint64
+	ModelSHA256  string
+	WantBits     uint64
+	GotBits      uint64
+	Want         float64
+	Got          float64
+}
+
+// ReplayResult summarizes a replay run.
+type ReplayResult struct {
+	Verify         VerifyResult
+	Replayed       int // scored events re-scored against the artifact
+	Matched        int // ... whose Float64bits matched exactly
+	SkippedModel   int // scored under a different artifact sha256
+	SkippedInput   int // scored events that carried no inputs
+	DigestMismatch int // recorded inputs that fail their own digest
+	Divergences    []Divergence
+}
+
+// Replay re-scores every audited decision in dir against scorer and
+// asserts bit-identical results. Only events whose ModelSHA256 matches
+// modelSHA are replayed — decisions made by other model versions are
+// counted as skipped, not failed, which is what makes replay
+// well-defined across hot swaps: each decision is attributable to, and
+// reproducible against, exactly the artifact that made it. An empty
+// modelSHA replays every scored event regardless of attribution.
+func Replay(dir string, scorer Scorer, modelSHA string) (ReplayResult, error) {
+	var res ReplayResult
+	v, err := Walk(dir, func(ev Event) error {
+		if ev.Outcome != OutcomeScored {
+			return nil
+		}
+		if modelSHA != "" && ev.ModelSHA256 != modelSHA {
+			res.SkippedModel++
+			return nil
+		}
+		if len(ev.Inputs) == 0 {
+			res.SkippedInput++
+			return nil
+		}
+		row := Row(ev.Inputs)
+		if ev.InputsSHA256 != "" && InputsDigest(row) != ev.InputsSHA256 {
+			res.DigestMismatch++
+			return nil
+		}
+		got := scorer.Score(row)
+		res.Replayed++
+		if math.Float64bits(got) == ev.ScoreBits {
+			res.Matched++
+			return nil
+		}
+		res.Divergences = append(res.Divergences, Divergence{
+			Seq:          ev.Seq,
+			RequestID:    ev.RequestID,
+			ModelVersion: ev.ModelVersion,
+			ModelSHA256:  ev.ModelSHA256,
+			WantBits:     ev.ScoreBits,
+			GotBits:      math.Float64bits(got),
+			Want:         ev.Score,
+			Got:          got,
+		})
+		return nil
+	})
+	res.Verify = v
+	return res, err
+}

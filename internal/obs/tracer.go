@@ -142,6 +142,14 @@ func (a *ActiveTrace) ID() uint64 {
 	return a.t.ID
 }
 
+// Route returns the route the trace was started on.
+func (a *ActiveTrace) Route() string {
+	if a == nil {
+		return ""
+	}
+	return a.t.Route
+}
+
 // Context returns the request's W3C trace identity — what response
 // traceparent headers and exported spans carry.
 func (a *ActiveTrace) Context() TraceContext {

@@ -102,9 +102,20 @@ func TestTracerNilSafe(t *testing.T) {
 	if a.ID() != 0 {
 		t.Error("nil trace has an ID")
 	}
+	if a.Route() != "" {
+		t.Error("nil trace has a route")
+	}
 	if tc := a.Finish(500); tc.Total != 0 {
 		t.Error("nil Finish recorded a trace")
 	}
+}
+
+func TestActiveTraceRoute(t *testing.T) {
+	a := NewTracer(2).Start("score")
+	if got := a.Route(); got != "score" {
+		t.Errorf("Route() = %q, want %q", got, "score")
+	}
+	a.Finish(200)
 }
 
 func TestTracerSlowestKeepsMaxima(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hdfe/internal/obs"
+	"hdfe/internal/obs/audit"
 )
 
 // admission is the overload gate in front of the batcher: a record-level
@@ -82,6 +83,7 @@ func (a *admission) retryAfterHeader() string {
 func (s *Server) shed(w http.ResponseWriter, at *obs.ActiveTrace, status int, reason ShedReason, msg string) {
 	at.SetShed(reason.String())
 	s.metrics.Shed(reason)
+	s.auditOutcome(at, audit.OutcomeShed, reason.String())
 	w.Header().Set("Retry-After", s.adm.retryAfterHeader())
 	writeJSON(w, status, errorResponse{Error: msg, TraceID: traceIDOf(at)})
 }

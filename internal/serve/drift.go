@@ -216,6 +216,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	for i, it := range items {
 		res := quality.Feedback(it.RequestID, *it.Label)
 		resp.Results[i] = feedbackResult{RequestID: it.RequestID, Status: res.String()}
+		s.auditFeedback(it.RequestID, *it.Label, res.String())
 		switch res {
 		case drift.Matched:
 			resp.Matched++

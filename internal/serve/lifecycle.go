@@ -168,17 +168,20 @@ func (s *Server) load(path, name string) (*registry.Model, error) {
 	return s.adopt(dep, name, path, sha), nil
 }
 
-// promote publishes m as active and logs the swap.
+// promote publishes m as active and logs and audits the swap.
 func (s *Server) promote(m *registry.Model) {
 	old := s.reg.Promote(m)
 	info := m.Info()
 	attrs := []any{
 		"model", info.Name, "model_version", info.Version, "sha256", info.SHA256,
 	}
+	var replaced uint64
 	if old != nil {
-		attrs = append(attrs, "replaced_version", old.Info().Version)
+		replaced = old.Info().Version
+		attrs = append(attrs, "replaced_version", replaced)
 	}
 	s.logger.Info("model promoted", attrs...)
+	s.auditSwap(info, replaced)
 }
 
 // modelsResponse is the GET /v1/models body: the live publication state

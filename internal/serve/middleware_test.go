@@ -13,7 +13,10 @@ var readOnlyRoutes = []string{
 	"/metrics",
 	"/metrics.json",
 	"/debug/traces",
+	"/debug/slo",
 	"/debug/drift",
+	"/debug/audit",
+	"/debug/prof",
 	"/v1/models",
 }
 
@@ -50,6 +53,41 @@ func TestReadOnlyMiddleware(t *testing.T) {
 			if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
 				t.Errorf("%s %s: Allow %q, want GET", method, path, allow)
 			}
+		}
+	}
+}
+
+// TestDebugJSONHeaders pins the response-header contract of every JSON
+// read-only endpoint: Content-Type: application/json (all go through
+// writeJSON) and Cache-Control: no-store (debug and metric state must
+// never be served from a cache). /metrics is the deliberate exception —
+// Prometheus text format — and /debug/prof/{id} streams a gzipped
+// profile; both are excluded here and pinned by their own tests.
+func TestDebugJSONHeaders(t *testing.T) {
+	_, ts, _ := driftServer(t, Config{})
+	for _, path := range []string{
+		"/healthz",
+		"/metrics.json",
+		"/debug/traces",
+		"/debug/slo",
+		"/debug/drift",
+		"/debug/audit",
+		"/debug/prof",
+		"/v1/models",
+	} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("GET %s: Content-Type %q, want application/json", path, ct)
+		}
+		if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("GET %s: Cache-Control %q, want no-store", path, cc)
 		}
 	}
 }

@@ -99,6 +99,7 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 	s.promDrift(p)
 	s.promTracing(p)
 	s.promSLO(p)
+	s.promAudit(p)
 
 	// Continuous profiling counters, then the runtime/metrics families.
 	// The runtime collector is owned by the scrape path (the watchdog loop

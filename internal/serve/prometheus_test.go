@@ -27,6 +27,12 @@ var promFamilies = []string{
 	"go_memstats_heap_objects gauge",
 	"go_memstats_heap_sys_bytes gauge",
 	"go_memstats_next_gc_bytes gauge",
+	"hdfe_audit_chain_length gauge",
+	"hdfe_audit_dropped_total counter",
+	"hdfe_audit_events_total counter",
+	"hdfe_audit_fsync_seconds_total counter",
+	"hdfe_audit_fsyncs_total counter",
+	"hdfe_audit_rotations_total counter",
 	"hdfe_drift_clamp_ratio gauge",
 	"hdfe_drift_missing_total counter",
 	"hdfe_drift_out_of_range_total counter",

@@ -16,6 +16,7 @@ import (
 	"hdfe/internal/chaos"
 	"hdfe/internal/core"
 	"hdfe/internal/obs"
+	"hdfe/internal/obs/audit"
 	"hdfe/internal/obs/export"
 	"hdfe/internal/obs/prof"
 	"hdfe/internal/obs/slo"
@@ -138,6 +139,13 @@ type Config struct {
 	// watchdogs off. Seed, Logger, Chaos, and the model-version stamp
 	// default to the server's own.
 	Prof prof.Config
+	// Audit is the decision audit trail (see internal/obs/audit): when
+	// set, every score/shed/error/feedback/model-swap decision emits one
+	// hash-chained wide event. The server takes ownership and closes the
+	// log last on Close, after the batcher and shadow worker have
+	// drained. Nil — the default — disables auditing at the cost of one
+	// branch per decision.
+	Audit *audit.Log
 }
 
 func (c Config) withDefaults() Config {
@@ -223,6 +231,7 @@ type Server struct {
 	exporter *export.Exporter // nil without an OTLPEndpoint
 	sampler  *export.Sampler
 	slo      *slo.Engine
+	audit    *audit.Log // nil without Config.Audit
 	profiler *prof.Profiler
 	rtMu     sync.Mutex // serializes rtColl across concurrent scrapes
 	rtColl   *prof.Collector
@@ -241,6 +250,7 @@ func New(sc core.Scorer, cfg Config) *Server {
 		reg:     registry.New(),
 		metrics: m,
 		tracer:  obs.NewTracerSeeded(cfg.TraceBuffer, cfg.TraceSeed),
+		audit:   cfg.Audit,
 		logger:  cfg.Logger,
 		mux:     http.NewServeMux(),
 	}
@@ -309,6 +319,7 @@ func New(sc core.Scorer, cfg Config) *Server {
 	s.mux.HandleFunc("/debug/traces", readOnly(s.handleTraces))
 	s.mux.HandleFunc("/debug/slo", readOnly(s.handleSLO))
 	s.mux.HandleFunc("/debug/drift", readOnly(s.handleDriftDebug))
+	s.mux.HandleFunc("/debug/audit", readOnly(s.handleAuditDebug))
 	s.mux.HandleFunc("/debug/prof", readOnly(s.handleProfIndex))
 	s.mux.HandleFunc("/debug/prof/", readOnly(s.handleProfDownload))
 	if cfg.EnablePprof {
@@ -339,8 +350,10 @@ func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Close drains and stops the microbatcher, then the shadow worker, then
 // the span exporter (in that order: the shadow worker may still emit
-// disagreement spans while draining). Call after the HTTP listener has
-// stopped accepting requests (Serve does this in order).
+// disagreement spans while draining), and finally the audit log — last,
+// so every decision the drained handlers emitted still reaches the
+// chain. Call after the HTTP listener has stopped accepting requests
+// (Serve does this in order).
 func (s *Server) Close() {
 	// Profiler first: it interrupts any in-flight capture immediately and
 	// restores the process-global mutex/block profiling rates.
@@ -350,6 +363,7 @@ func (s *Server) Close() {
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
 	defer cancel()
 	s.exporter.Shutdown(ctx)
+	s.audit.Close()
 }
 
 // Serve runs the service on ln until ctx is cancelled, then shuts down
@@ -465,11 +479,12 @@ type scoreRequest struct {
 // record — under hot-swapping, the authoritative attribution for the
 // score.
 type scoreResponse struct {
-	RequestID    string   `json:"request_id"`
-	Score        float64  `json:"score"`
-	Prediction   int      `json:"prediction"`
-	ModelVersion uint64   `json:"model_version"`
-	Warnings     []string `json:"warnings,omitempty"`
+	RequestID    string               `json:"request_id"`
+	Score        float64              `json:"score"`
+	Prediction   int                  `json:"prediction"`
+	ModelVersion uint64               `json:"model_version"`
+	Warnings     []string             `json:"warnings,omitempty"`
+	Explain      []audit.Contribution `json:"explain,omitempty"`
 }
 
 // batchScoreRequest is the body of POST /v1/score/batch.
@@ -525,6 +540,7 @@ func (s *Server) writeError(w http.ResponseWriter, at *obs.ActiveTrace, status i
 	} else {
 		s.metrics.errors.Add(1)
 	}
+	s.auditOutcome(at, audit.OutcomeError, msg)
 	writeJSON(w, status, errorResponse{Error: msg, TraceID: traceIDOf(at), Details: details, Record: record})
 }
 
@@ -564,6 +580,11 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request, at *obs.Act
 		s.writeError(w, at, http.StatusBadRequest, err.Error(), nil, 0)
 		return
 	}
+	explainK, err := parseExplain(r)
+	if err != nil {
+		s.writeError(w, at, http.StatusBadRequest, err.Error(), nil, 0)
+		return
+	}
 	// Admission before decode, validation, and encode: a shed request
 	// must cost a counter bump and a tiny JSON body, nothing more.
 	if !s.adm.tryAcquire(1) {
@@ -575,7 +596,9 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request, at *obs.Act
 	if !s.decode(w, r, at, &req) {
 		return
 	}
+	tValidate := time.Now()
 	row, warnings, err := s.activeState().val.Validate(req.Features, nil)
+	validateDur := time.Since(tValidate)
 	at.Step(obs.StageValidate)
 	if err != nil {
 		var verr *ValidationError
@@ -603,10 +626,12 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request, at *obs.Act
 		at.Step(obs.StageBatchWait)
 		at.SetShed(ShedDeadline.String())
 		s.metrics.timeouts.Add(1)
+		s.auditOutcome(at, audit.OutcomeShed, ShedDeadline.String())
 		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "scoring timed out", TraceID: traceIDOf(at)})
 		return
 	case err != nil:
 		s.metrics.errors.Add(1)
+		s.auditOutcome(at, audit.OutcomeError, err.Error())
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error(), TraceID: traceIDOf(at)})
 		return
 	}
@@ -623,11 +648,23 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request, at *obs.Act
 	if score >= 0.5 {
 		resp.Prediction = 1
 	}
+	if explainK > 0 {
+		// Explain against the same modelState that scored the record, so
+		// the contributions (and the audit event) attribute to the exact
+		// model version even when a hot-swap landed mid-request.
+		resp.Explain = explainTopK(st.scorer.Explain(row), explainK)
+	}
 	st.drift.observeRow(row)
 	st.drift.scores.Observe(score)
 	st.drift.quality.Record(resp.RequestID, resp.Prediction)
 	writeJSON(w, http.StatusOK, resp)
 	at.Step(obs.StageRespond)
+	s.auditScored(at, st, row, resp, audit.Stages{
+		ValidateUs:  validateDur.Microseconds(),
+		BatchWaitUs: bt.Wait.Microseconds(),
+		EncodeUs:    bt.Encode.Microseconds(),
+		ScoreUs:     bt.Distance.Microseconds(),
+	}, bt.Size)
 	s.metrics.ObserveLatencyTrace(time.Since(start), traceIDOf(at))
 }
 
@@ -723,6 +760,20 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request, at *ob
 		ModelVersion: st.version(), Warnings: allWarnings,
 	})
 	at.Step(obs.StageRespond)
+	if s.audit != nil {
+		// One audit event per record — each is an independent clinical
+		// decision with its own feedback handle. Encode/score time is the
+		// batch total amortized per record, matching the stage accum.
+		n := int64(len(rows))
+		stages := audit.Stages{
+			EncodeUs: (encTotal / time.Duration(n)).Microseconds(),
+			ScoreUs:  (distTotal / time.Duration(n)).Microseconds(),
+		}
+		for i, row := range rows {
+			sc := scoreResponse{RequestID: ids[i], Score: scores[i], Prediction: preds[i]}
+			s.auditScored(at, st, row, sc, stages, len(rows))
+		}
+	}
 	s.metrics.ObserveLatencyTrace(time.Since(start), traceIDOf(at))
 }
 

@@ -73,6 +73,9 @@ for name in \
     hdfe_slo_target \
     hdfe_slo_burn_rate \
     hdfe_slo_state \
+    hdfe_audit_events_total \
+    hdfe_audit_dropped_total \
+    hdfe_audit_chain_length \
     hdfe_prof_captures_total \
     hdfe_prof_capture_failures_total \
     hdfe_prof_ring_captures \
